@@ -1,0 +1,34 @@
+"""Benchmark configuration: scale resolution and result persistence.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Set ``REPRO_SCALE=paper``
+for near-paper-scale runs (minutes each); the default QUICK scale keeps
+every bench in seconds while preserving the paper's qualitative shape.
+Each bench prints the same rows the paper's figure/table reports and
+writes a JSON copy under ``results/``.
+"""
+
+import pytest
+
+from repro.bench.harness import resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return resolve_scale()
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run one experiment function exactly once under pytest-benchmark,
+    print its table, persist it, and return the ExperimentResult."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        result.show()
+        try:
+            result.save()
+        except OSError:
+            pass  # read-only working dir is fine; stdout has the table
+        return result
+
+    return _run

@@ -1,0 +1,21 @@
+"""Ablations: EPS chunk sizing/rebalance and per-shard model mixing."""
+
+from repro.bench.ablations import ablation_eps_chunks, ablation_per_shard_models
+
+
+def test_ablation_eps_chunks(run_experiment, scale):
+    result = run_experiment(ablation_eps_chunks, scale)
+    imb = [rec.metrics["imbalance8"] for rec in result.records]
+    # Finer chunks never worsen balance (monotone non-increasing trend).
+    assert imb[-1] <= imb[0]
+    assert imb[-1] < 1.1  # smallest chunks: near-perfect balance
+    for rec in result.records:
+        assert rec.metrics["imbalance6"] >= 1.0
+
+
+def test_ablation_per_shard_models(run_experiment, scale):
+    result = run_experiment(ablation_per_shard_models, scale)
+    uniform = result.find("uniform ssp(3)")
+    mixed = result.find("mixed ssp/pssp/drop")
+    # Mixed per-shard deployments run to completion with comparable time.
+    assert mixed.metrics["duration"] <= uniform.metrics["duration"] * 1.25

@@ -1,0 +1,15 @@
+"""Ablation: push filters — wire-byte savings at preserved accuracy."""
+
+from repro.bench.ablations import ablation_push_filters
+
+
+def test_ablation_push_filters(run_experiment, scale):
+    result = run_experiment(ablation_push_filters, scale)
+    none = result.find("none")
+    topk = result.find("topk(0.05)")
+    # Aggressive top-k cuts the wire substantially ...
+    assert topk.metrics["wire_bytes"] < 0.7 * none.metrics["wire_bytes"]
+    # ... without destroying accuracy (residual accumulation preserves mass).
+    assert topk.metrics["final_acc"] > none.metrics["final_acc"] - 0.1
+    for rec in result.records:
+        assert rec.metrics["wire_bytes"] <= none.metrics["wire_bytes"] * 1.001

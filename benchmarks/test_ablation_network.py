@@ -1,0 +1,13 @@
+"""Ablation: the overlap/EPS win across network regimes."""
+
+from repro.bench.ablations import ablation_network_sensitivity
+
+
+def test_ablation_network_sensitivity(run_experiment, scale):
+    result = run_experiment(ablation_network_sensitivity, scale)
+    for rec in result.records:
+        assert rec.metrics["speedup"] > 1.0, rec.name
+    # Less bandwidth -> bigger win for overlap (comm matters more).
+    half = result.find("half-bandwidth").metrics["speedup"]
+    double = result.find("double-bandwidth").metrics["speedup"]
+    assert half > double

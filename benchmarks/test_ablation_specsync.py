@@ -1,0 +1,16 @@
+"""Ablation: PSSP's probabilistic pauses vs SpecSync's computation aborts."""
+
+from repro.bench.ablations import ablation_specsync
+
+
+def test_ablation_specsync(run_experiment, scale):
+    result = run_experiment(ablation_specsync, scale)
+    spec = result.find("specsync")
+    pssp = result.find("pssp(3,0.3)")
+    # SpecSync pays for freshness with aborted computations ...
+    assert spec.metrics["aborts"] > 0
+    assert spec.metrics["wasted"] > 0
+    # ... PSSP reaches comparable accuracy without any aborts and no slower.
+    assert pssp.metrics["aborts"] == 0
+    assert pssp.metrics["duration"] <= spec.metrics["duration"] * 1.05
+    assert pssp.metrics["final_acc"] > spec.metrics["final_acc"] - 0.08

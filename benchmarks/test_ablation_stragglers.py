@@ -1,0 +1,16 @@
+"""Ablation: straggler-distribution sensitivity of the model ordering."""
+
+from repro.bench.ablations import ablation_stragglers
+
+
+def test_ablation_stragglers(run_experiment, scale):
+    result = run_experiment(ablation_stragglers, scale)
+    regimes = {rec.name.rsplit("_", 1)[0] for rec in result.records}
+    for regime in regimes:
+        bsp = result.find(f"{regime}_bsp")
+        ssp = result.find(f"{regime}_ssp(3)")
+        asp = result.find(f"{regime}_asp")
+        # The paper's ordering holds in every regime: ASP <= SSP <= BSP.
+        assert asp.metrics["duration"] <= ssp.metrics["duration"] * 1.01, regime
+        assert ssp.metrics["duration"] <= bsp.metrics["duration"] * 1.01, regime
+        assert asp.metrics["dprs"] == 0

@@ -1,0 +1,21 @@
+"""Figure 10: accuracy vs time across sync models at the big cluster size."""
+
+from repro.bench.figures import fig10_models
+
+
+def test_fig10_models(run_experiment, scale):
+    result = run_experiment(fig10_models, scale)
+    bsp = result.find("bsp")
+    asp = result.find("asp")
+    ssp = result.find("ssp(s=3)")
+    pssp05 = result.find("pssp(s=3,c=0.5)")
+    # Time ordering: ASP fastest, BSP slowest, PSSP between ASP and SSP.
+    assert asp.metrics["duration"] <= pssp05.metrics["duration"] * 1.02
+    assert pssp05.metrics["duration"] <= ssp.metrics["duration"] * 1.02
+    assert bsp.metrics["duration"] > asp.metrics["duration"]
+    # DPR ordering: ASP none; PSSP fewer than SSP.
+    assert asp.metrics["dprs_per_100"] == 0
+    assert pssp05.metrics["dprs_per_100"] <= ssp.metrics["dprs_per_100"] * 1.05
+    # Accuracy stays in a tight band across models (robust convergence).
+    accs = [r.metrics["final_acc"] for r in result.records]
+    assert max(accs) - min(accs) < 0.15

@@ -1,0 +1,18 @@
+"""Figure 11: the Figure-10 comparison at double the worker count."""
+
+from repro.bench.figures import fig11_models
+
+
+def test_fig11_models(run_experiment, scale):
+    result = run_experiment(fig11_models, scale)
+    asp = result.find("asp")
+    ssp = result.find("ssp(s=3)")
+    pssp03 = result.find("pssp(s=3,c=0.3)")
+    pssp05 = result.find("pssp(s=3,c=0.5)")
+    # PSSP keeps SSP-level accuracy at twice the worker count (paper:
+    # PSSP's advantage grows with N; +3.9% over ASP at 128 workers).
+    best_pssp = max(pssp03.metrics["final_acc"], pssp05.metrics["final_acc"])
+    assert best_pssp > asp.metrics["final_acc"] - 0.03
+    assert best_pssp > ssp.metrics["final_acc"] - 0.05
+    # And remains faster than SSP.
+    assert pssp03.metrics["duration"] <= ssp.metrics["duration"] * 1.02

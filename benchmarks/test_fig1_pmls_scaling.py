@@ -1,0 +1,12 @@
+"""Figure 1: Bösen/PMLS (SSPtable) accuracy degrades as workers grow."""
+
+from repro.bench.figures import fig1_pmls_scaling
+
+
+def test_fig1_pmls_scaling(run_experiment, scale):
+    result = run_experiment(fig1_pmls_scaling, scale)
+    counts = sorted(scale.worker_counts)
+    small = result.find(f"pmls_N{counts[0]}").metrics["final_acc"]
+    big = result.find(f"pmls_N{counts[-1]}").metrics["final_acc"]
+    # Paper shape: large clusters lose accuracy at the same iteration count.
+    assert big < small, f"expected degradation: N={counts[0]} acc {small} vs N={counts[-1]} acc {big}"

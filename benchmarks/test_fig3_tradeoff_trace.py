@@ -1,0 +1,15 @@
+"""Figure 3: the soft-barrier/lazy-execution delay-vs-staleness trade-off."""
+
+from repro.bench.figures import fig3_tradeoff_trace
+
+
+def test_fig3_tradeoff_trace(run_experiment):
+    result = run_experiment(fig3_tradeoff_trace)
+    soft = result.find("soft")
+    lazy = result.find("lazy")
+    # Soft barrier: released after ONE slow-worker push, parameters stale.
+    assert soft.metrics["released_after"] == 1
+    assert soft.metrics["missing"] == 3
+    # Lazy execution: released after full catch-up, parameters complete.
+    assert lazy.metrics["released_after"] == 4
+    assert lazy.metrics["missing"] == 0

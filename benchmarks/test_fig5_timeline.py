@@ -1,0 +1,14 @@
+"""Figure 5: non-overlap (PS-Lite) vs overlap (FluentPS) synchronization."""
+
+from repro.bench.figures import fig5_timeline
+
+
+def test_fig5_timeline(run_experiment, scale):
+    result = run_experiment(fig5_timeline, scale)
+    non = result.find("pslite-nonoverlap")
+    ovl = result.find("fluentps-overlap")
+    # Overlap never loses: the pull transfers overlap remaining pushes.
+    assert ovl.metrics["duration"] <= non.metrics["duration"]
+    assert ovl.metrics["comm"] < non.metrics["comm"]
+    # Compute time is identical by construction (same sampled durations).
+    assert abs(ovl.metrics["compute"] - non.metrics["compute"]) < 1e-9

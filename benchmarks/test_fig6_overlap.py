@@ -1,0 +1,25 @@
+"""Figure 6: comp/comm breakdown — PS-Lite vs FluentPS vs FluentPS+EPS."""
+
+from repro.bench.figures import fig6_overlap
+
+
+def test_fig6_overlap(run_experiment, scale):
+    result = run_experiment(fig6_overlap, scale)
+    # Largest cluster in the sweep carries the headline claims.
+    ns = sorted({int(r.name.split("_N")[1]) for r in result.records})
+    n = ns[-1]
+    ps = result.find(f"pslite_N{n}")
+    fl = result.find(f"fluentps_N{n}")
+    eps = result.find(f"fluentps+eps_N{n}")
+
+    # PS-Lite: communication grows to dominate the iteration time.
+    assert ps.metrics["comm"] > ps.metrics["compute"]
+    # Overlap synchronization beats non-overlap markedly at scale.
+    assert fl.metrics["speedup"] > 1.5
+    # EPS adds a further speedup on top of overlap.
+    assert eps.metrics["duration"] <= fl.metrics["duration"]
+    # Communication-time reduction in the paper's direction (>=50%).
+    assert eps.metrics["comm"] < 0.5 * ps.metrics["comm"]
+    # Speedup grows with cluster size (the scalability claim).
+    speedups = [result.find(f"fluentps+eps_N{m}").metrics["speedup"] for m in ns]
+    assert speedups[-1] >= speedups[0]

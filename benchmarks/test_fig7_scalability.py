@@ -1,0 +1,16 @@
+"""Figure 7: FluentPS stays accurate as the cluster grows; PMLS collapses."""
+
+from repro.bench.figures import fig7_scalability
+
+
+def test_fig7_scalability(run_experiment, scale):
+    result = run_experiment(fig7_scalability, scale)
+    counts = sorted(scale.worker_counts)
+    small, big = counts[0], counts[-1]
+    fl_small = result.find(f"N{small}").metrics["fluentps"]
+    fl_big = result.find(f"N{big}").metrics["fluentps"]
+    tb_big = result.find(f"N{big}").metrics["pmls"]
+    # FluentPS: no convergence loss at scale (within noise).
+    assert fl_big > fl_small - 0.08
+    # PMLS/SSPtable: markedly below FluentPS at the largest cluster.
+    assert tb_big < fl_big - 0.1

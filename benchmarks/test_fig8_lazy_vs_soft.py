@@ -1,0 +1,15 @@
+"""Figure 8: lazy execution vs soft barrier (SSP s=2, 32 workers)."""
+
+from repro.bench.figures import fig8_lazy_vs_soft
+
+
+def test_fig8_lazy_vs_soft(run_experiment, scale):
+    result = run_experiment(fig8_lazy_vs_soft, scale)
+    soft = result.find("soft")
+    lazy = result.find("lazy")
+    # Lazy execution is faster (paper: 1.21x) ...
+    assert lazy.metrics["duration"] < soft.metrics["duration"]
+    # ... with far fewer DPRs (paper: up to 131x fewer) ...
+    assert lazy.metrics["dprs_per_100"] < 0.5 * soft.metrics["dprs_per_100"]
+    # ... and no worse accuracy (robust convergence).
+    assert lazy.metrics["final_acc"] > soft.metrics["final_acc"] - 0.05

@@ -1,0 +1,25 @@
+"""Figure 9: DPR counts of regret-matched PSSP(s=3, c) vs SSP(s') pairs."""
+
+from repro.bench.figures import FIG9_GROUPS, fig9_dpr_pairs
+
+
+def test_fig9_dpr_pairs(run_experiment, scale):
+    result = run_experiment(fig9_dpr_pairs, scale)
+    # Under the soft barrier every PSSP member beats its matched SSP
+    # partner on DPRs, and the saving grows as c shrinks (G vs H largest).
+    savings = []
+    for label, _c, _name in FIG9_GROUPS:
+        rec = result.find(f"{label}_soft")
+        assert rec.metrics["pssp_dprs"] < rec.metrics["ssp_dprs"], label
+        savings.append(1 - rec.metrics["pssp_dprs"] / rec.metrics["ssp_dprs"])
+    assert savings[-1] == max(savings)  # G/H shows the largest saving
+    assert savings[-1] > 0.5  # paper: up to 97.1%
+    # Lazy execution already removes most DPRs for both models.
+    for label, _c, _name in FIG9_GROUPS:
+        soft = result.find(f"{label}_soft")
+        lazy = result.find(f"{label}_lazy")
+        assert lazy.metrics["ssp_dprs"] < soft.metrics["ssp_dprs"]
+    # Per-window series exist for every arm (the figure's x-axis).
+    assert len(result.series) == 4 * len(FIG9_GROUPS)
+    for series in result.series:
+        assert len(series) >= 1 and all(v >= 0 for v in series.y)

@@ -1,0 +1,13 @@
+"""Table I: FluentPS expresses every synchronization model via conditions."""
+
+from repro.bench.tables import table1_model_matrix
+from repro.core.models import SUPPORTED_MODELS
+
+
+def test_table1_model_matrix(run_experiment):
+    result = run_experiment(table1_model_matrix)
+    names = {row[0].split("(")[0] for row in result.rows}
+    # Every model family from the paper's FluentPS row is instantiable.
+    for family in ("bsp", "asp", "ssp", "dsps", "drop_stragglers", "pssp", "dynamic_pssp"):
+        assert family in names, f"missing {family}"
+    assert set(SUPPORTED_MODELS) == names

@@ -1,0 +1,27 @@
+"""Table III: behavioural semantics of each model's pull/push conditions."""
+
+import math
+
+from repro.bench.tables import table3_conditions
+
+
+def test_table3_conditions(run_experiment, scale):
+    result = run_experiment(table3_conditions, scale)
+    bsp = result.find("bsp")
+    ssp = result.find("ssp(2)")
+    asp = result.find("asp")
+    dsps = result.find("dsps")
+    pssp = result.find("pssp(2,0.5)")
+
+    # BSP: zero staleness, the most DPRs.
+    assert bsp.metrics["max_staleness"] == 0
+    assert bsp.metrics["dprs"] >= ssp.metrics["dprs"]
+    # SSP: staleness bounded by s under lazy execution.
+    assert ssp.metrics["max_staleness"] <= 2
+    # ASP: never delays, staleness unbounded in principle.
+    assert asp.metrics["dprs"] == 0
+    assert asp.metrics["max_staleness"] >= ssp.metrics["max_staleness"]
+    # DSPS: staleness stays within its configured band.
+    assert dsps.metrics["max_staleness"] <= 8
+    # PSSP: fewer DPRs than SSP at the same s, staleness may exceed s.
+    assert pssp.metrics["dprs"] <= ssp.metrics["dprs"] * 1.05

@@ -1,0 +1,35 @@
+"""Table IV: {DNN x dataset} x {soft, lazy} x P grid of time/acc/DPRs.
+
+At QUICK scale only the two CIFAR-10 rows run; REPRO_SCALE=paper adds the
+CIFAR-100 rows (set via the workloads argument below).
+"""
+
+import os
+
+from repro.bench.tables import table4_grid
+
+
+def test_table4_grid(run_experiment, scale):
+    if scale.name == "paper":
+        workloads = None  # all four rows
+    else:
+        workloads = ["alexnet-cifar10", "resnet56-cifar10"]
+    result = run_experiment(table4_grid, scale, workloads=workloads)
+
+    for row in (workloads or ["alexnet-cifar10", "alexnet-cifar100",
+                              "resnet56-cifar10", "resnet56-cifar100"]):
+        asp_soft = result.find(f"{row}_soft_P0.0")
+        ssp_soft = result.find(f"{row}_soft_P1.0")
+        ssp_lazy = result.find(f"{row}_lazy_P1.0")
+        pssp_soft = result.find(f"{row}_soft_P0.5")
+
+        # Soft barrier: time grows with P (ASP fastest, SSP slowest).
+        assert asp_soft.metrics["time_per_100it"] <= ssp_soft.metrics["time_per_100it"]
+        assert pssp_soft.metrics["time_per_100it"] <= ssp_soft.metrics["time_per_100it"] * 1.05
+        # Lazy execution slashes SSP's DPRs relative to the soft barrier.
+        assert ssp_lazy.metrics["dprs_per_100"] < ssp_soft.metrics["dprs_per_100"]
+        # ASP produces zero DPRs by definition.
+        assert asp_soft.metrics["dprs_per_100"] == 0
+        # Accuracies stay in a band (no divergence under any model).
+        accs = [r.metrics["final_acc"] for r in result.records if r.name.startswith(row)]
+        assert min(accs) > 0.2

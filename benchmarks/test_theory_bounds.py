@@ -1,0 +1,14 @@
+"""Theorems 1-2: regret-bound chain (Monte-Carlo <= Eq 2 <= Eq 3 = SSP(s'))."""
+
+from repro.bench.theory_bench import theory_bounds
+
+
+def test_theory_bounds(run_experiment, scale):
+    result = run_experiment(theory_bounds, scale)
+    for rec in result.records:
+        # Exact mixture (Eq 2) never exceeds the closed-form bound (Eq 3).
+        assert rec.metrics["series"] <= rec.metrics["bound"] * (1 + 1e-9)
+        # Theorem 1: the bound equals the SSP bound at s' = s + 1/c - 1.
+        assert abs(rec.metrics["bound"] - rec.metrics["ssp_bound"]) < 1e-9
+        # Monte-Carlo regret on the normalized quadratic sits below the bound.
+        assert rec.metrics["mc"] < rec.metrics["bound"]

@@ -1,0 +1,9 @@
+"""Legacy shim so ``pip install -e .`` works offline (no wheel package).
+
+All real metadata lives in pyproject.toml; this file only enables the
+setuptools legacy editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

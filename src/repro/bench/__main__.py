@@ -1,0 +1,100 @@
+"""Run every paper experiment and print/persist the results.
+
+Usage:
+    python -m repro.bench                 # all experiments, QUICK scale
+    python -m repro.bench --scale paper   # near paper scale (slow)
+    python -m repro.bench --only fig6 fig9
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.bench.ablations import (
+    ablation_eps_chunks,
+    ablation_network_sensitivity,
+    ablation_per_shard_models,
+    ablation_push_filters,
+    ablation_specsync,
+    ablation_stragglers,
+)
+from repro.bench.figures import (
+    fig1_pmls_scaling,
+    fig3_tradeoff_trace,
+    fig5_timeline,
+    fig6_overlap,
+    fig7_scalability,
+    fig8_lazy_vs_soft,
+    fig9_dpr_pairs,
+    fig10_models,
+    fig11_models,
+)
+from repro.bench.harness import PAPER, QUICK, Scale
+from repro.bench.tables import table1_model_matrix, table3_conditions, table4_grid
+from repro.bench.theory_bench import theory_bounds
+
+EXPERIMENTS: Dict[str, Callable[[Scale], object]] = {
+    "table1": lambda scale: table1_model_matrix(),
+    "fig1": fig1_pmls_scaling,
+    "fig3": lambda scale: fig3_tradeoff_trace(),
+    "fig5": fig5_timeline,
+    "fig6": fig6_overlap,
+    "fig7": fig7_scalability,
+    "fig8": fig8_lazy_vs_soft,
+    "fig9": fig9_dpr_pairs,
+    "fig10": fig10_models,
+    "fig11": fig11_models,
+    "table3": table3_conditions,
+    "table4": table4_grid,
+    "theory": theory_bounds,
+    "ablation-stragglers": ablation_stragglers,
+    "ablation-eps": ablation_eps_chunks,
+    "ablation-shards": ablation_per_shard_models,
+    "ablation-filters": ablation_push_filters,
+    "ablation-specsync": ablation_specsync,
+    "ablation-network": ablation_network_sensitivity,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="FluentPS reproduction: run the paper's experiments.",
+    )
+    parser.add_argument("--scale", choices=["quick", "paper"], default="quick")
+    parser.add_argument("--only", nargs="*", metavar="ID",
+                        help="experiment ids to run (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--save-dir", default=None,
+                        help="directory for JSON results (default: results/)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    scale = PAPER if args.scale == "paper" else QUICK
+    wanted = args.only or list(EXPERIMENTS)
+    unknown = [w for w in wanted if w not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}; use --list")
+
+    for name in wanted:
+        t0 = time.time()
+        result = EXPERIMENTS[name](scale)
+        result.show()
+        try:
+            path = result.save(directory=args.save_dir)
+            print(f"[{name}: {time.time() - t0:.1f}s, saved {path}]\n")
+        except OSError:
+            print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

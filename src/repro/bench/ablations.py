@@ -1,0 +1,270 @@
+"""Ablations beyond the paper's figures (DESIGN.md §design choices).
+
+1. straggler-distribution sensitivity — do the paper's conclusions hold
+   under different compute-time regimes?
+2. EPS chunk size / rebalance cost — slicing quality vs movement.
+3. heterogeneous per-shard models (Figure 2's server-1-SSP /
+   server-2-PSSP / server-M-drop-stragglers deployment).
+4. push filters (Gaia significance / top-k) — wire bytes vs accuracy.
+5. PSSP vs SpecSync — pause probabilistically vs abort-and-refresh
+   (the related-work comparison of §V-B, not evaluated in the paper).
+6. network-model sensitivity — do the overlap/EPS wins survive different
+   latency/bandwidth/fabric regimes?
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult, Scale
+from repro.bench.workloads import null_step, null_task_spec, workload_for
+from repro.core.api import ParameterServerSystem
+from repro.core.driver import VirtualClockDriver
+from repro.core.keyspace import ElasticSlicer
+from repro.core.models import asp, bsp, drop_stragglers, pssp, ssp
+from repro.core.server import ExecutionMode
+from repro.sim.stragglers import (
+    DeterministicCompute,
+    ExponentialTailCompute,
+    HeterogeneousCompute,
+    LogNormalCompute,
+    ParetoTailCompute,
+    TransientStragglerCompute,
+)
+
+
+def ablation_stragglers(scale: Scale, seed: int = 0) -> ExperimentResult:
+    """BSP/SSP/ASP/PSSP durations under five straggler regimes — checks
+    that the paper's ordering (ASP ≤ PSSP ≤ SSP ≤ BSP in time) is not an
+    artifact of one compute-time distribution."""
+    n = 16
+    spec = null_task_spec()
+    regimes = [
+        ("deterministic", DeterministicCompute()),
+        ("lognormal", LogNormalCompute(0.15)),
+        ("exp-tail", ExponentialTailCompute(0.05, 3.0, 0.05)),
+        ("pareto", ParetoTailCompute(2.5, 0.3)),
+        ("transient", TransientStragglerCompute(n, slow_factor=3.0, period=40, duration=8)),
+        ("heterogeneous", HeterogeneousCompute(n, spread=0.3)),
+    ]
+    models = [("bsp", bsp()), ("ssp(3)", ssp(3)), ("pssp(3,0.3)", pssp(3, 0.3)), ("asp", asp())]
+    result = ExperimentResult(
+        "Ablation: straggler-distribution sensitivity",
+        headers=["regime", "model", "duration_s", "dprs", "mean_staleness"],
+    )
+    for regime_name, compute in regimes:
+        durations = {}
+        for model_name, sync in models:
+            system = ParameterServerSystem(
+                spec, np.zeros(spec.total_elements), n, 1, sync,
+                ExecutionMode.LAZY, seed=seed,
+            )
+            r = VirtualClockDriver(
+                system, null_step, max_iter=scale.dpr_iters // 2,
+                compute_model=compute, seed=seed + 1,
+            ).run()
+            durations[model_name] = r.duration
+            result.add_row(regime_name, model_name, round(r.duration, 1),
+                           r.metrics.dprs, round(r.metrics.mean_staleness(), 2))
+            result.record(f"{regime_name}_{model_name}", duration=r.duration,
+                          dprs=r.metrics.dprs)
+    result.notes.append("expected ordering within each regime: asp <= pssp <= ssp <= bsp")
+    return result
+
+
+def ablation_eps_chunks(scale: Scale, seed: int = 0) -> ExperimentResult:
+    """EPS chunk-size sweep: balance quality and rebalance movement when
+    the server count changes 8 → 6."""
+    wl = workload_for("alexnet")
+    result = ExperimentResult(
+        "Ablation: EPS chunk size vs balance and rebalance movement",
+        headers=["chunk_elems", "imbalance_8", "imbalance_6", "moved_MB", "pieces"],
+    )
+    for chunk in (1 << 20, 1 << 18, 1 << 16, 1 << 14, 1 << 12):
+        slicer = ElasticSlicer(chunk_elements=chunk)
+        a8 = slicer.slice(wl.spec, 8)
+        a6 = slicer.rebalance(a8, 6)
+        a6.validate_partition(wl.spec)
+        moved = a8.moved_bytes(a6) / 1e6
+        pieces = sum(len(a8.pieces[m]) for m in range(8))
+        result.add_row(chunk, round(a8.imbalance(), 3), round(a6.imbalance(), 3),
+                       round(moved, 3), pieces)
+        result.record(f"chunk{chunk}", imbalance8=a8.imbalance(),
+                      imbalance6=a6.imbalance(), moved_mb=moved)
+    result.notes.append("smaller chunks -> better balance, more pieces to manage")
+    return result
+
+
+def ablation_push_filters(scale: Scale, seed: int = 0) -> ExperimentResult:
+    """Gaia-style significance / top-k / random push filters on the wire:
+    bytes saved vs accuracy kept (an extension the paper's §V-B discusses
+    via Gaia but does not evaluate)."""
+    from repro.bench.workloads import blobs_task
+    from repro.core.filters import RandomSparsifier, SignificanceFilter, TopKFilter
+    from repro.sim.cluster import cpu_cluster
+    from repro.sim.runner import SimConfig, run_fluentps
+    from repro.utils.rng import derive_rng
+
+    n = 8
+    filters = [
+        ("none", None),
+        ("significance(0.01)", lambda: SignificanceFilter(0.01)),
+        ("significance(0.05)", lambda: SignificanceFilter(0.05)),
+        ("topk(0.25)", lambda: TopKFilter(0.25)),
+        ("topk(0.05)", lambda: TopKFilter(0.05)),
+        ("random(0.25)", lambda: RandomSparsifier(0.25, derive_rng(seed, "sparse"))),
+    ]
+    result = ExperimentResult(
+        "Ablation: push filters — wire bytes vs accuracy",
+        headers=["filter", "wire_MB", "bytes_saved_%", "final_acc", "duration_s"],
+    )
+    baseline_bytes = None
+    for name, factory in filters:
+        task = blobs_task(n, n_train=scale.dataset_train, n_test=scale.dataset_test,
+                          seed=seed)
+        cfg = SimConfig(
+            cluster=cpu_cluster(n, 1), max_iter=scale.iters, sync=ssp(2),
+            task=task, seed=seed + 1, base_compute_time=0.4,
+            push_filter_factory=factory,
+        )
+        r = run_fluentps(cfg)
+        acc = task.eval_fn(r.final_params)
+        if baseline_bytes is None:
+            baseline_bytes = r.bytes_on_wire
+        saved = 100.0 * (1 - r.bytes_on_wire / baseline_bytes)
+        result.add_row(name, round(r.bytes_on_wire / 1e6, 2), round(saved, 1),
+                       round(acc, 4), round(r.duration, 1))
+        result.record(name, wire_bytes=r.bytes_on_wire, saved_pct=saved,
+                      final_acc=acc, duration=r.duration)
+    result.notes.append(
+        "Gaia's claim transfers: most update mass is insignificant per push; "
+        "accumulate-and-send preserves accuracy at a fraction of the bytes"
+    )
+    return result
+
+
+def ablation_network_sensitivity(scale: Scale, seed: int = 0) -> ExperimentResult:
+    """Figure 6's conclusion under four network regimes.
+
+    The co-simulation's NIC model is an approximation; this checks that
+    "FluentPS+EPS beats PS-Lite, comm dominates PS-Lite at scale" is not
+    an artifact of one latency/bandwidth/fabric setting."""
+    from repro.baselines.pslite import run_pslite
+    from repro.bench.workloads import workload_for
+    from repro.core.models import bsp as bsp_model
+    from repro.sim.cluster import gpu_cluster_p2
+    from repro.sim.runner import SimConfig, run_fluentps
+    from repro.sim.stragglers import gpu_cluster_compute
+
+    n = 16
+    wl = workload_for("resnet56")
+    regimes = [
+        ("default", dict()),
+        ("high-latency", dict(latency_s=2e-3)),
+        ("half-bandwidth", dict(nic_gbps=0.4)),
+        ("double-bandwidth", dict(nic_gbps=1.6)),
+    ]
+    result = ExperimentResult(
+        "Ablation: network-regime sensitivity of the overlap/EPS win",
+        headers=["regime", "system", "total_s", "comm_s", "speedup"],
+    )
+    for name, kwargs in regimes:
+        cluster = gpu_cluster_p2(n, 8, **kwargs)
+        base = dict(
+            cluster=cluster, max_iter=scale.sim_iters, sync=bsp_model(),
+            workload=wl, batch_per_worker=max(1, 4096 // n),
+            compute_model=gpu_cluster_compute(), seed=seed,
+        )
+        r_ps = run_pslite(SimConfig(**base))
+        r_fl = run_fluentps(SimConfig(**base, slicer=ElasticSlicer()))
+        for system, r in (("pslite", r_ps), ("fluentps+eps", r_fl)):
+            result.add_row(name, system, round(r.duration, 2),
+                           round(r.mean_comm_time, 2),
+                           round(r_ps.duration / r.duration, 2))
+        result.record(name, pslite=r_ps.duration, fluentps=r_fl.duration,
+                      speedup=r_ps.duration / r_fl.duration)
+    result.notes.append("the overlap/EPS speedup must hold (>1) in every regime")
+    return result
+
+
+def ablation_specsync(scale: Scale, seed: int = 0) -> ExperimentResult:
+    """PSSP vs SpecSync vs ASP on one training job.
+
+    SpecSync keeps parameters fresh by *aborting* stale in-progress
+    computations (wasting the work plus a refresh round-trip); PSSP keeps
+    staleness bounded by occasionally *pausing* fast workers.  The paper
+    argues PSSP achieves the freshness benefit "but avoid[s] the
+    computation aborts in SpecSync" — this experiment quantifies it.
+    """
+    from repro.baselines.specsync import SpecSyncConfig, SpecSyncRunner
+    from repro.bench.workloads import blobs_task
+    from repro.core.models import asp as asp_model
+    from repro.core.models import pssp as pssp_model
+    from repro.sim.cluster import cpu_cluster
+    from repro.sim.runner import SimConfig, run_fluentps
+    from repro.sim.stragglers import cpu_cluster_compute
+
+    n = max(8, scale.big_workers // 2)
+
+    def cfg(sync) -> SimConfig:
+        return SimConfig(
+            cluster=cpu_cluster(n, 1), max_iter=scale.iters, sync=sync,
+            task=blobs_task(n, n_train=scale.dataset_train,
+                            n_test=scale.dataset_test, seed=seed),
+            seed=seed + 1, base_compute_time=0.4,
+            compute_model=cpu_cluster_compute(n),
+        )
+
+    evaluator = blobs_task(n, n_train=scale.dataset_train,
+                           n_test=scale.dataset_test, seed=seed)
+    result = ExperimentResult(
+        "Ablation: PSSP vs SpecSync (pause vs abort)",
+        headers=["system", "duration_s", "final_acc", "aborts", "wasted_compute_s"],
+    )
+    spec_runner = SpecSyncRunner(SpecSyncConfig(sim=cfg(asp_model()), abort_threshold=n // 2))
+    r_spec = spec_runner.run()
+    rows = [
+        ("specsync", r_spec, spec_runner.aborts, spec_runner.wasted_compute),
+        ("pssp(3,0.3)", run_fluentps(cfg(pssp_model(3, 0.3))), 0, 0.0),
+        ("asp", run_fluentps(cfg(asp_model())), 0, 0.0),
+    ]
+    for name, r, aborts, wasted in rows:
+        acc = evaluator.eval_fn(r.final_params)
+        result.add_row(name, round(r.duration, 1), round(acc, 4), aborts, round(wasted, 1))
+        result.record(name, duration=r.duration, final_acc=acc,
+                      aborts=float(aborts), wasted=wasted)
+    result.notes.append(
+        "PSSP reaches SpecSync-class accuracy without aborting any computation"
+    )
+    return result
+
+
+def ablation_per_shard_models(scale: Scale, seed: int = 0) -> ExperimentResult:
+    """Figure 2's deployment: different models on different servers of the
+    same job (SSP / PSSP / drop-stragglers), vs uniform SSP."""
+    n, m = 12, 3
+    spec = null_task_spec(elements=96)
+    mixed = [ssp(3), pssp(3, 0.3), drop_stragglers(n, n_t=9)]
+    uniform = ssp(3)
+    result = ExperimentResult(
+        "Ablation: heterogeneous per-shard synchronization models",
+        headers=["deployment", "duration_s", "dprs", "mean_staleness"],
+    )
+    for name, sync in (("uniform ssp(3)", uniform), ("mixed ssp/pssp/drop", mixed)):
+        system = ParameterServerSystem(
+            spec, np.zeros(spec.total_elements), n, m, sync,
+            ExecutionMode.LAZY, seed=seed,
+        )
+        r = VirtualClockDriver(
+            system, null_step, max_iter=scale.dpr_iters // 2,
+            compute_model=HeterogeneousCompute(n, spread=0.3), seed=seed + 1,
+        ).run()
+        result.add_row(name, round(r.duration, 1), r.metrics.dprs,
+                       round(r.metrics.mean_staleness(), 2))
+        result.record(name, duration=r.duration, dprs=r.metrics.dprs)
+    result.notes.append(
+        "each server runs its own condition instances; mixed deployments are "
+        "first-class (the paper's Figure 2)"
+    )
+    return result

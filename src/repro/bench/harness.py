@@ -1,0 +1,137 @@
+"""Scale presets and output helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.utils.records import RunRecord, SeriesRecord
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How big to run an experiment.
+
+    ``QUICK`` keeps every bench under a few seconds for CI; ``PAPER``
+    approaches the paper's iteration counts and cluster sizes (minutes).
+    Relative comparisons (who wins, by roughly what factor) hold at both.
+    """
+
+    name: str
+    iters: int  # training iterations per run
+    sim_iters: int  # iterations for timing-only simulations
+    worker_counts: Sequence[int]  # Figure 6/7 sweep
+    big_workers: int  # Figure 10's cluster size
+    huge_workers: int  # Figure 11's cluster size
+    dataset_train: int
+    dataset_test: int
+    eval_every: int
+    dpr_iters: int  # Figure 9 / DPR-counting runs
+
+    def __post_init__(self) -> None:
+        if min(self.iters, self.sim_iters, self.dpr_iters) < 1:
+            raise ValueError("iteration counts must be >= 1")
+
+
+QUICK = Scale(
+    name="quick",
+    iters=150,
+    sim_iters=25,
+    worker_counts=(2, 4, 8, 16),
+    big_workers=16,
+    huge_workers=32,
+    dataset_train=2000,
+    dataset_test=500,
+    eval_every=50,
+    dpr_iters=300,
+)
+
+PAPER = Scale(
+    name="paper",
+    iters=1500,
+    sim_iters=120,
+    worker_counts=(2, 4, 8, 16, 32, 64),
+    big_workers=64,
+    huge_workers=128,
+    dataset_train=8000,
+    dataset_test=2000,
+    eval_every=100,
+    dpr_iters=2000,
+)
+
+
+def resolve_scale(default: Scale = QUICK) -> Scale:
+    """Pick the scale from ``REPRO_SCALE`` (quick|paper), else ``default``."""
+    name = os.environ.get("REPRO_SCALE", "").lower()
+    if name == "paper":
+        return PAPER
+    if name == "quick":
+        return QUICK
+    return default
+
+
+@dataclass
+class ExperimentResult:
+    """Printable + serializable outcome of one figure/table experiment."""
+
+    experiment: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    records: List[RunRecord] = field(default_factory=list)
+    series: List[SeriesRecord] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        self.rows.append(list(values))
+
+    def record(self, name: str, **metrics: float) -> RunRecord:
+        rec = RunRecord(name=name, metrics={k: float(v) for k, v in metrics.items()})
+        self.records.append(rec)
+        return rec
+
+    def find(self, name: str) -> RunRecord:
+        for rec in self.records:
+            if rec.name == name:
+                return rec
+        raise KeyError(f"no record {name!r} in {self.experiment}")
+
+    def find_series(self, name: str) -> SeriesRecord:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series {name!r} in {self.experiment}")
+
+    def render(self) -> str:
+        out = [format_table(self.headers, self.rows, title=f"== {self.experiment} ==")]
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out)
+
+    def show(self) -> None:
+        print(self.render())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "headers": list(self.headers),
+            "rows": [[str(v) for v in row] for row in self.rows],
+            "records": [r.to_dict() for r in self.records],
+            "series": [s.to_dict() for s in self.series],
+            "notes": list(self.notes),
+        }
+
+    def save(self, directory: Optional[str] = None) -> Path:
+        directory = directory or os.environ.get("REPRO_RESULTS_DIR", "results")
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        slug = "".join(
+            ch if ch.isalnum() or ch in "._" else "-"
+            for ch in self.experiment.lower().replace(" ", "_")
+        ).strip("-")
+        out = path / f"{slug}.json"
+        out.write_text(json.dumps(self.to_dict(), indent=2))
+        return out

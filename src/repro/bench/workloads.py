@@ -1,0 +1,140 @@
+"""Standard training tasks for the experiment harness.
+
+The paper's four evaluation workloads are AlexNet/ResNet-56 on
+CIFAR-10/100.  Per DESIGN.md: the *wire and compute footprint* of those
+models comes from the shape-accurate Workload specs, while the gradient
+math runs on fast proxies whose accuracy responds to staleness the same
+way.  The factories here produce matched (task, workload) pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.driver import StepContext
+from repro.core.keyspace import ModelSpec, TensorSpec
+from repro.ml.data import gaussian_blobs, synthetic_cifar10, synthetic_cifar100
+from repro.ml.models_zoo import (
+    Workload,
+    alexnet_cifar_workload,
+    mini_alexnet,
+    proxy_classifier,
+    resnet56_cifar_workload,
+    resnet_cifar,
+)
+from repro.ml.optim import SGD
+from repro.ml.training import TrainingTask
+from repro.utils.rng import derive_rng
+
+
+def blobs_task(
+    n_workers: int,
+    n_classes: int = 10,
+    dim: int = 32,
+    hidden: Sequence[int] = (32,),
+    n_train: int = 4000,
+    n_test: int = 800,
+    batch_size: int = 32,
+    lr: float = 0.1,
+    momentum: float = 0.9,
+    seed: int = 0,
+) -> TrainingTask:
+    """Fast MLP-on-blobs task — the default proxy for AlexNet/CIFAR runs."""
+    ds = gaussian_blobs(
+        n_classes=n_classes, dim=dim, n_train=n_train, n_test=n_test, seed=seed
+    )
+    return TrainingTask(
+        lambda: proxy_classifier(ds, hidden=hidden, seed=seed + 1),
+        ds,
+        n_workers=n_workers,
+        batch_size=batch_size,
+        optimizer_factory=lambda net: SGD(lr=lr, momentum=momentum),
+        seed=seed + 2,
+    )
+
+
+def cifar_proxy_task(
+    n_workers: int,
+    n_classes: int = 10,
+    n_train: int = 1000,
+    n_test: int = 300,
+    size: int = 16,
+    batch_size: int = 16,
+    lr: float = 0.05,
+    seed: int = 0,
+    conv: bool = False,
+) -> TrainingTask:
+    """Image-classification proxy: synthetic CIFAR images, MLP or conv net.
+
+    ``conv=True`` trains :func:`repro.ml.models_zoo.mini_alexnet` (slower,
+    closer to the paper's models); the default MLP keeps high-iteration
+    benches fast.
+    """
+    if n_classes == 100:
+        ds = synthetic_cifar100(n_train=n_train, n_test=n_test, seed=seed, size=size)
+    else:
+        ds = synthetic_cifar10(n_train=n_train, n_test=n_test, seed=seed, size=size)
+    if conv:
+        build = lambda: mini_alexnet(
+            n_classes=ds.n_classes, rng=derive_rng(seed, "init", "conv"), size=size
+        )
+    else:
+        build = lambda: proxy_classifier(ds, hidden=(48,), seed=seed + 1)
+    return TrainingTask(
+        build,
+        ds,
+        n_workers=n_workers,
+        batch_size=batch_size,
+        optimizer_factory=lambda net: SGD(lr=lr, momentum=0.9),
+        seed=seed + 2,
+    )
+
+
+def resnet_proxy_task(
+    n_workers: int,
+    n_classes: int = 10,
+    depth: int = 8,
+    n_train: int = 400,
+    n_test: int = 120,
+    size: int = 12,
+    batch_size: int = 8,
+    lr: float = 0.05,
+    seed: int = 0,
+) -> TrainingTask:
+    """A genuinely-residual trainable proxy for the ResNet-56 rows."""
+    ds = synthetic_cifar10(n_train=n_train, n_test=n_test, seed=seed, size=size)
+    if n_classes == 100:
+        ds = synthetic_cifar100(n_train=n_train, n_test=n_test, seed=seed, size=size)
+    return TrainingTask(
+        lambda: resnet_cifar(
+            depth, n_classes=ds.n_classes, rng=derive_rng(seed, "init", "resnet"),
+            width=8, use_bn=False,
+        ),
+        ds,
+        n_workers=n_workers,
+        batch_size=batch_size,
+        optimizer_factory=lambda net: SGD(lr=lr, momentum=0.9),
+        seed=seed + 2,
+    )
+
+
+def null_task_spec(elements: int = 8) -> ModelSpec:
+    """Tiny model spec for pure synchronization-dynamics runs."""
+    return ModelSpec.from_tensors("null", [TensorSpec("w", (elements,))])
+
+
+def null_step(ctx: StepContext) -> np.ndarray:
+    """A no-op update — used when only DPR/timing dynamics matter."""
+    return np.zeros_like(ctx.params)
+
+
+def workload_for(name: str) -> Workload:
+    """The paper-model wire/compute footprint by name."""
+    name = name.lower()
+    if name in ("alexnet", "alexnet-cifar"):
+        return alexnet_cifar_workload()
+    if name in ("resnet56", "resnet-56", "resnet56-cifar"):
+        return resnet56_cifar_workload()
+    raise ValueError(f"unknown workload {name!r}")

@@ -1,0 +1,140 @@
+"""FluentPS core: condition-aware synchronization on every server.
+
+The paper's primary contribution.  Public surface:
+
+- :class:`~repro.core.api.ParameterServerSystem` — N workers × M shard
+  servers over a flat parameter vector, with SetcondPull/SetcondPush;
+- :mod:`~repro.core.models` — BSP/ASP/SSP/DSPS/drop-stragglers/PSSP
+  factories (Table I / Table III);
+- :class:`~repro.core.server.ShardServer` — Algorithm 1 with lazy pull
+  execution and the soft barrier;
+- :class:`~repro.core.driver.VirtualClockDriver` — network-free training
+  runs with straggler-driven staleness;
+- :mod:`~repro.core.keyspace` — default (PS-Lite) slicing and EPS.
+"""
+
+from repro.core.api import ParameterServerSystem, PullResult
+from repro.core.conditions import (
+    AllPushedPush,
+    ASPPull,
+    BSPPull,
+    DSPSPull,
+    PredicatePull,
+    PredicatePush,
+    PSSPPull,
+    PullCondition,
+    PushCondition,
+    QuorumPush,
+    SSPPull,
+    SyncView,
+)
+from repro.core.driver import DriverResult, StepContext, StepFn, VirtualClockDriver
+from repro.core.filters import (
+    FilterResult,
+    NoFilter,
+    PushFilter,
+    RandomSparsifier,
+    SignificanceFilter,
+    TopKFilter,
+)
+from repro.core.keyspace import (
+    Assignment,
+    DefaultSlicer,
+    ElasticSlicer,
+    ModelSpec,
+    ShardPiece,
+    Slicer,
+    TensorSpec,
+)
+from repro.core.layout import ShardLayout
+from repro.core.metrics import SyncMetrics
+from repro.core.models import (
+    SUPPORTED_MODELS,
+    SyncModel,
+    asp,
+    bsp,
+    drop_stragglers,
+    dsps,
+    dynamic_pssp,
+    make_model,
+    pssp,
+    ssp,
+)
+from repro.core.pssp import (
+    ConstantProbability,
+    DynamicProbability,
+    effective_staleness_pmf,
+    equivalent_ssp_threshold,
+    gradient_significance,
+    matched_constant,
+    significance_alpha,
+)
+from repro.core.scheduler import Scheduler
+from repro.core.server import (
+    ApplyInfo,
+    ExecutionMode,
+    ProtocolError,
+    PullReply,
+    ShardServer,
+    default_apply,
+)
+
+__all__ = [
+    "ParameterServerSystem",
+    "PullResult",
+    "AllPushedPush",
+    "ASPPull",
+    "BSPPull",
+    "DSPSPull",
+    "PredicatePull",
+    "PredicatePush",
+    "PSSPPull",
+    "PullCondition",
+    "PushCondition",
+    "QuorumPush",
+    "SSPPull",
+    "SyncView",
+    "DriverResult",
+    "StepContext",
+    "StepFn",
+    "VirtualClockDriver",
+    "FilterResult",
+    "NoFilter",
+    "PushFilter",
+    "RandomSparsifier",
+    "SignificanceFilter",
+    "TopKFilter",
+    "Assignment",
+    "DefaultSlicer",
+    "ElasticSlicer",
+    "ModelSpec",
+    "ShardPiece",
+    "Slicer",
+    "TensorSpec",
+    "ShardLayout",
+    "SyncMetrics",
+    "SUPPORTED_MODELS",
+    "SyncModel",
+    "asp",
+    "bsp",
+    "drop_stragglers",
+    "dsps",
+    "dynamic_pssp",
+    "make_model",
+    "pssp",
+    "ssp",
+    "ConstantProbability",
+    "DynamicProbability",
+    "effective_staleness_pmf",
+    "equivalent_ssp_threshold",
+    "gradient_significance",
+    "matched_constant",
+    "significance_alpha",
+    "Scheduler",
+    "ApplyInfo",
+    "ExecutionMode",
+    "ProtocolError",
+    "PullReply",
+    "ShardServer",
+    "default_apply",
+]

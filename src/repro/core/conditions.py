@@ -1,0 +1,318 @@
+"""Pull/push conditions — the condition-aware synchronization methodology.
+
+FluentPS implements every synchronization model by specifying only two
+predicates per server (Algorithm 1 / Table III):
+
+- the **pull condition** decides whether a pull is answered now or becomes
+  a *delayed pull request* (DPR) in the lazy pull buffer;
+- the **push condition** decides, after a push is applied, whether the
+  shard's training frontier ``V_train`` advances (flushing the DPRs
+  buffered at the old frontier).
+
+Progress semantics used throughout this codebase (reconciling the paper's
+Algorithm 1, Table III and Figure 3):
+
+- a worker pulling with ``progress = p`` has pushed gradients for
+  iterations ``0..p`` and requests the parameters for iteration ``p+1``;
+- ``v_train`` is a *frontier*: every worker has pushed every iteration
+  ``< v_train`` (initially 0);
+- SSP answers a pull iff ``p < v_train + s`` — so ``s = 0`` is exactly BSP
+  (Table III's BSP row) and ``s = ∞`` is ASP.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.core.pssp import ProbabilityModel, SignificanceView
+
+
+class SyncView:
+    """Read-only synchronization state a condition may inspect.
+
+    This is the paper's "interfaces also expose details of the
+    synchronization state, e.g., the progress of fastest/slowest worker,
+    the number of workers that have pushed gradients in a specified
+    iteration" — developers write new models against this view.
+    """
+
+    __slots__ = (
+        "progress",
+        "worker",
+        "v_train",
+        "n_workers",
+        "count",
+        "fastest",
+        "slowest",
+        "significance",
+        "rng",
+    )
+
+    def __init__(
+        self,
+        progress: int,
+        worker: int,
+        v_train: int,
+        n_workers: int,
+        count: Mapping[int, int],
+        fastest: int,
+        slowest: int,
+        significance: float,
+        rng: np.random.Generator,
+    ):
+        self.progress = progress
+        self.worker = worker
+        self.v_train = v_train
+        self.n_workers = n_workers
+        self.count = count
+        self.fastest = fastest
+        self.slowest = slowest
+        self.significance = significance
+        self.rng = rng
+
+    @property
+    def gap(self) -> int:
+        """Over-frontier gap of the requesting worker."""
+        return self.progress - self.v_train
+
+    def pushed(self, iteration: int) -> int:
+        """Workers that have pushed gradients for ``iteration``."""
+        return self.count.get(iteration, 0)
+
+
+class PullCondition(abc.ABC):
+    """Returns True when the server should answer the pull immediately."""
+
+    @abc.abstractmethod
+    def __call__(self, view: SyncView) -> bool: ...
+
+    def staleness(self) -> float:
+        """Current nominal staleness threshold (∞ for ASP); used to index
+        soft-barrier DPR buffers and for reporting."""
+        return 0.0
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class PushCondition(abc.ABC):
+    """Returns True when the frontier should advance past ``view.v_train``."""
+
+    @abc.abstractmethod
+    def __call__(self, view: SyncView) -> bool: ...
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+# ---------------------------------------------------------------------------
+# Pull conditions (Table III, left column)
+# ---------------------------------------------------------------------------
+
+
+class SSPPull(PullCondition):
+    """progress < V_train + s.  s=0 ⇒ BSP, s=∞ ⇒ ASP."""
+
+    def __init__(self, s: float):
+        if s < 0:
+            raise ValueError(f"staleness threshold must be >= 0, got {s}")
+        self.s = s
+
+    def __call__(self, view: SyncView) -> bool:
+        return view.progress < view.v_train + self.s
+
+    def staleness(self) -> float:
+        return self.s
+
+    def describe(self) -> str:
+        if self.s == 0:
+            return "BSP (progress < V_train)"
+        if math.isinf(self.s):
+            return "ASP (always)"
+        return f"SSP (progress < V_train + {self.s})"
+
+
+class BSPPull(SSPPull):
+    """Bulk Synchronous Parallel: full barrier each iteration."""
+
+    def __init__(self) -> None:
+        super().__init__(0)
+
+
+class ASPPull(SSPPull):
+    """Asynchronous Parallel: never block."""
+
+    def __init__(self) -> None:
+        super().__init__(math.inf)
+
+
+class PSSPPull(PullCondition):
+    """Probabilistic SSP: below the threshold answer immediately; at or
+    above it, pause only with probability P (Table III's
+    ``progress < V_train + s or rand(0,1) > P``)."""
+
+    def __init__(self, s: float, prob: ProbabilityModel):
+        if s < 0:
+            raise ValueError(f"staleness threshold must be >= 0, got {s}")
+        self.s = s
+        self.prob = prob
+        self.coin_flips = 0
+        self.paused = 0
+
+    def __call__(self, view: SyncView) -> bool:
+        if view.progress < view.v_train + self.s:
+            return True
+        sig_view = SignificanceView(view.significance, view.gap, self.s)
+        p = self.prob.probability(self.s, view.gap, sig_view)
+        self.coin_flips += 1
+        if view.rng.random() < p:
+            self.paused += 1
+            return False
+        return True
+
+    def staleness(self) -> float:
+        return self.s
+
+    def describe(self) -> str:
+        return f"PSSP (s={self.s}, P={self.prob.describe()})"
+
+
+class DSPSPull(PullCondition):
+    """Dynamic Synchronous Parallel Strategy: SSP with a runtime-adjusted
+    staleness threshold (paper's citation [25]).
+
+    A windowed controller widens ``s`` when the block rate is high (the
+    cluster is noisy — let fast workers run) and narrows it when blocks
+    are rare (keep parameters fresh).  The server calls
+    :meth:`observe` with each pull outcome.
+    """
+
+    def __init__(
+        self,
+        s0: int = 3,
+        s_min: int = 1,
+        s_max: int = 16,
+        window: int = 64,
+        hi_rate: float = 0.25,
+        lo_rate: float = 0.05,
+    ):
+        if not s_min <= s0 <= s_max:
+            raise ValueError(f"need s_min <= s0 <= s_max, got {s_min},{s0},{s_max}")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0 <= lo_rate <= hi_rate <= 1:
+            raise ValueError("need 0 <= lo_rate <= hi_rate <= 1")
+        self.s = s0
+        self.s_min = s_min
+        self.s_max = s_max
+        self.window = window
+        self.hi_rate = hi_rate
+        self.lo_rate = lo_rate
+        self._pulls = 0
+        self._blocks = 0
+        self.adjustments = 0
+
+    def __call__(self, view: SyncView) -> bool:
+        ok = view.progress < view.v_train + self.s
+        self.observe(blocked=not ok)
+        return ok
+
+    def observe(self, blocked: bool) -> None:
+        self._pulls += 1
+        if blocked:
+            self._blocks += 1
+        if self._pulls >= self.window:
+            rate = self._blocks / self._pulls
+            if rate > self.hi_rate and self.s < self.s_max:
+                self.s += 1
+                self.adjustments += 1
+            elif rate < self.lo_rate and self.s > self.s_min:
+                self.s -= 1
+                self.adjustments += 1
+            self._pulls = 0
+            self._blocks = 0
+
+    def staleness(self) -> float:
+        return self.s
+
+    def describe(self) -> str:
+        return f"DSPS (s∈[{self.s_min},{self.s_max}], current={self.s})"
+
+
+# ---------------------------------------------------------------------------
+# Push conditions (Table III, right column)
+# ---------------------------------------------------------------------------
+
+
+class AllPushedPush(PushCondition):
+    """Count[V_train] == N: the frontier advances when every worker has
+    pushed the frontier iteration."""
+
+    def __call__(self, view: SyncView) -> bool:
+        return view.pushed(view.v_train) >= view.n_workers
+
+    def describe(self) -> str:
+        return "Count[V_train] == N"
+
+
+class QuorumPush(PushCondition):
+    """Count[V_train] == N_t: drop stragglers — all workers may enter the
+    next iteration once any N_t workers have pushed (paper's citation
+    [19], 'Revisiting distributed synchronous SGD')."""
+
+    def __init__(self, n_t: int):
+        if n_t < 1:
+            raise ValueError(f"quorum must be >= 1, got {n_t}")
+        self.n_t = n_t
+
+    def __call__(self, view: SyncView) -> bool:
+        return view.pushed(view.v_train) >= self.n_t
+
+    def describe(self) -> str:
+        return f"Count[V_train] == N_t ({self.n_t})"
+
+
+class FractionPush(QuorumPush):
+    """Quorum expressed as a fraction of the worker count."""
+
+    def __init__(self, fraction: float, n_workers: int):
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        super().__init__(max(1, int(round(fraction * n_workers))))
+
+
+class PredicatePull(PullCondition):
+    """Adapter turning a plain ``f(view) -> bool`` into a pull condition —
+    the SetcondPull escape hatch for user-defined models."""
+
+    def __init__(self, fn, staleness: float = 0.0, name: Optional[str] = None):
+        self.fn = fn
+        self._staleness = staleness
+        self._name = name or getattr(fn, "__name__", "custom")
+
+    def __call__(self, view: SyncView) -> bool:
+        return bool(self.fn(view))
+
+    def staleness(self) -> float:
+        return self._staleness
+
+    def describe(self) -> str:
+        return f"custom pull ({self._name})"
+
+
+class PredicatePush(PushCondition):
+    """Adapter turning a plain ``f(view) -> bool`` into a push condition."""
+
+    def __init__(self, fn, name: Optional[str] = None):
+        self.fn = fn
+        self._name = name or getattr(fn, "__name__", "custom")
+
+    def __call__(self, view: SyncView) -> bool:
+        return bool(self.fn(view))
+
+    def describe(self) -> str:
+        return f"custom push ({self._name})"

@@ -1,0 +1,93 @@
+"""The FluentPS scheduler: liveness monitoring and key-range assignment.
+
+Unlike PS-Lite's scheduler, this one is *not* in the synchronization path:
+"The scheduler only works for monitoring the liveness of servers and
+divides the whole key space into several key ranges" (paper §III-A).
+When a server joins or leaves, the scheduler re-slices — with EPS it
+rebalances with minimal parameter movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.keyspace import Assignment, ElasticSlicer, ModelSpec, Slicer
+
+
+@dataclass
+class ServerRecord:
+    server_id: int
+    last_heartbeat: float = 0.0
+    alive: bool = True
+
+
+class Scheduler:
+    """Owns the key-space division; never touches synchronization."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        slicer: Slicer,
+        n_servers: int,
+        heartbeat_timeout: float = 5.0,
+    ):
+        if heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        self.model = model
+        self.slicer = slicer
+        self.heartbeat_timeout = heartbeat_timeout
+        self.servers: Dict[int, ServerRecord] = {
+            m: ServerRecord(m) for m in range(n_servers)
+        }
+        self.assignment: Assignment = slicer.slice(model, n_servers)
+        self.reassignments = 0
+        self.total_moved_bytes = 0
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+    def alive_servers(self, now: float) -> List[int]:
+        return [
+            m
+            for m, rec in sorted(self.servers.items())
+            if rec.alive and now - rec.last_heartbeat <= self.heartbeat_timeout
+        ]
+
+    def heartbeat(self, server_id: int, now: float) -> None:
+        if server_id not in self.servers:
+            raise KeyError(f"unknown server {server_id}")
+        rec = self.servers[server_id]
+        rec.last_heartbeat = now
+        rec.alive = True
+
+    def check_liveness(self, now: float) -> List[int]:
+        """Mark servers that missed their heartbeat window dead; if any
+        died, re-slice over the survivors.  Returns the dead list."""
+        dead = []
+        for m, rec in self.servers.items():
+            if rec.alive and now - rec.last_heartbeat > self.heartbeat_timeout:
+                rec.alive = False
+                dead.append(m)
+        if dead:
+            self._reslice(len([r for r in self.servers.values() if r.alive]))
+        return dead
+
+    def resize(self, n_servers: int) -> Assignment:
+        """Explicitly change the server count (elastic scale up/down)."""
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        self._reslice(n_servers)
+        self.servers = {m: ServerRecord(m) for m in range(n_servers)}
+        return self.assignment
+
+    def _reslice(self, n_servers: int) -> None:
+        old = self.assignment
+        if isinstance(self.slicer, ElasticSlicer):
+            new = self.slicer.rebalance(old, n_servers)
+        else:
+            new = self.slicer.slice(self.model, n_servers)
+        self.total_moved_bytes += old.moved_bytes(new)
+        self.assignment = new
+        self.reassignments += 1

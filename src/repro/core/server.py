@@ -1,0 +1,301 @@
+"""The FluentPS shard server: Algorithm 1 with lazy/soft DPR execution.
+
+Each :class:`ShardServer` owns one parameter shard and controls its own
+synchronization — there is no central scheduler in the synchronization
+path (the paper's first contribution).  The server is execution-agnostic:
+it is driven by ``handle_push``/``handle_pull`` calls and answers pulls
+through per-request ``respond`` callbacks, so the same code runs under the
+discrete-event co-simulation, the real-thread runner, and direct unit
+tests.
+
+Progress conventions (see also :mod:`repro.core.conditions`):
+
+- a worker that completed iteration ``i`` pushes ``g_i`` with
+  ``progress = i`` and then pulls ``w_{i+1}`` with ``progress = i``;
+- ``v_train`` is Algorithm 1's counter: the number of fully-completed
+  iterations (every worker has pushed every iteration ``< v_train``);
+- a pull is *delayed* (becomes a DPR) when the pull condition fails; DPRs
+  are buffered keyed by the ``v_train`` value whose advance releases them:
+
+  * **lazy execution** — key = ``progress``: the DPR is answered only once
+    the slowest worker has caught up to the requester, so the returned
+    parameters contain *all* gradients through ``progress`` (0 missing
+    iterations, Figure 3b);
+  * **soft barrier** — key = current ``v_train``: the DPR is re-examined
+    at the very next frontier advance; if the pull condition still fails
+    it is re-buffered, *counting as a new DPR* (the barrier re-forming).
+    This is why Table IV reports soft-barrier DPR counts far above the
+    number of pulls (up to 131× the lazy counts), and it answers the pull
+    as soon as the condition holds — returning parameters that may still
+    miss up to ``s`` iterations of slow workers' gradients (Figure 3a).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.conditions import PullCondition, PushCondition, SyncView
+from repro.core.metrics import SyncMetrics
+from repro.core.models import SyncModel
+from repro.core.pssp import gradient_significance
+
+
+class ProtocolError(RuntimeError):
+    """A worker violated the sPush/sPull protocol (e.g. out-of-order push)."""
+
+
+class ExecutionMode(enum.Enum):
+    """How delayed pull requests are executed (paper §III-C)."""
+
+    LAZY = "lazy"
+    SOFT_BARRIER = "soft"
+
+
+@dataclass
+class PullReply:
+    """What a worker receives in answer to an sPull."""
+
+    worker: int
+    progress: int
+    version: int  # server-side update counter at response time
+    v_train: int  # frontier at response time
+    missing: int  # slow-worker gradient iterations absent from params
+    waited: float  # sim-seconds the request spent buffered (0 if immediate)
+    params: Optional[np.ndarray] = None  # shard snapshot (co-simulation)
+
+
+@dataclass
+class _BufferedPull:
+    worker: int
+    progress: int
+    respond: Callable[[PullReply], None]
+    enqueue_time: float
+    blocked_probabilistically: bool = False
+
+
+@dataclass
+class ApplyInfo:
+    """Context handed to a server-side apply function."""
+
+    worker: int
+    progress: int
+    v_train: int
+    n_workers: int
+
+
+def default_apply(params: np.ndarray, contribution: np.ndarray, info: ApplyInfo) -> None:
+    """Algorithm 1 line 15: ``w ← w + g / N`` (in place)."""
+    params += contribution / info.n_workers
+
+
+class ShardServer:
+    """One parameter server node managing one shard (Algorithm 1)."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        n_workers: int,
+        model: SyncModel,
+        execution: ExecutionMode = ExecutionMode.LAZY,
+        params: Optional[np.ndarray] = None,
+        apply_fn: Callable[[np.ndarray, np.ndarray, ApplyInfo], None] = default_apply,
+        clock: Optional[Callable[[], float]] = None,
+        rng: Optional[np.random.Generator] = None,
+        snapshot_params: bool = True,
+        metrics: Optional[SyncMetrics] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.shard_id = shard_id
+        self.n_workers = n_workers
+        self.model = model
+        self.execution = execution
+        self.params = params
+        self.apply_fn = apply_fn
+        self.clock = clock or (lambda: 0.0)
+        self.rng = rng or np.random.default_rng(0)
+        self.snapshot_params = snapshot_params
+        self.metrics = metrics or SyncMetrics()
+
+        # Per-server condition instances: each server independently adjusts
+        # its synchronization scheme (mutable state like DSPS's threshold
+        # or PSSP's coin counters lives here, not in the shared model).
+        self.pull_con: PullCondition = model.make_pull()
+        self.push_con: PushCondition = model.make_push()
+
+        self.v_train = 0
+        self.version = 0
+        self.count: Dict[int, int] = defaultdict(int)
+        self.callbacks: Dict[int, List[_BufferedPull]] = defaultdict(list)
+        self.worker_progress: List[int] = [-1] * n_workers  # last pushed iteration
+        self.last_significance = 0.0
+
+    # -- views ------------------------------------------------------------
+
+    def _view(self, progress: int, worker: int) -> SyncView:
+        pushed = [p for p in self.worker_progress]
+        return SyncView(
+            progress=progress,
+            worker=worker,
+            v_train=self.v_train,
+            n_workers=self.n_workers,
+            count=self.count,
+            fastest=max(pushed),
+            slowest=min(pushed),
+            significance=self.last_significance,
+            rng=self.rng,
+        )
+
+    @property
+    def buffered_pulls(self) -> int:
+        return sum(len(v) for v in self.callbacks.values())
+
+    # -- Algorithm 1: PushHandler ------------------------------------------
+
+    def handle_push(
+        self,
+        worker: int,
+        progress: int,
+        grad: Optional[np.ndarray] = None,
+        significance: Optional[float] = None,
+    ) -> None:
+        """Apply a gradient push and advance the frontier if possible."""
+        self._check_worker(worker)
+        expected = self.worker_progress[worker] + 1
+        if progress != expected:
+            raise ProtocolError(
+                f"worker {worker} pushed iteration {progress}, expected {expected} "
+                f"(pushes must be sequential)"
+            )
+        self.worker_progress[worker] = progress
+
+        if grad is not None and self.params is not None:
+            if grad.shape != self.params.shape:
+                raise ProtocolError(
+                    f"gradient shape {grad.shape} != shard shape {self.params.shape}"
+                )
+            info = ApplyInfo(worker, progress, self.v_train, self.n_workers)
+            self.apply_fn(self.params, grad, info)
+            if significance is None:
+                significance = gradient_significance(
+                    float(np.linalg.norm(grad)), float(np.linalg.norm(self.params))
+                )
+        if significance is not None:
+            self.last_significance = float(significance)
+        self.version += 1
+        self.count[progress] += 1
+        self.metrics.record_push()
+        self._try_advance()
+
+    def _try_advance(self) -> None:
+        """Advance the frontier while the push condition holds, flushing
+        the DPRs buffered at each passed frontier value.
+
+        Lazy execution buffers a DPR at key ``progress``, so its flush
+        coincides with the slowest worker catching up — respond outright.
+        The soft barrier buffers at the blocking-time ``v_train``; each
+        advance re-evaluates the pull condition and re-buffers (a fresh
+        DPR) if the barrier re-forms.
+        """
+        while True:
+            view = self._view(progress=self.v_train, worker=-1)
+            if not self.push_con(view):
+                break
+            flushed_key = self.v_train
+            self.v_train += 1
+            self.metrics.record_frontier_advance()
+            for req in self.callbacks.pop(flushed_key, []):
+                if self.execution is ExecutionMode.LAZY:
+                    self._respond(req)
+                    continue
+                recheck = self._view(progress=req.progress, worker=req.worker)
+                if self.pull_con(recheck):
+                    self._respond(req)
+                else:
+                    self.callbacks[self.v_train].append(req)
+                    self.metrics.record_pull(immediate=False, iteration=req.progress)
+
+    # -- Algorithm 1: PullHandler --------------------------------------------
+
+    def handle_pull(
+        self,
+        worker: int,
+        progress: int,
+        respond: Callable[[PullReply], None],
+    ) -> bool:
+        """Answer a pull now, or buffer it as a DPR.  Returns True when the
+        response was immediate."""
+        self._check_worker(worker)
+        if progress > self.worker_progress[worker]:
+            raise ProtocolError(
+                f"worker {worker} pulled with progress {progress} before its "
+                f"push for that iteration arrived (last push: "
+                f"{self.worker_progress[worker]})"
+            )
+        view = self._view(progress=progress, worker=worker)
+        if self.pull_con(view):
+            self.metrics.record_pull(immediate=True, iteration=progress)
+            self._respond(
+                _BufferedPull(worker, progress, respond, enqueue_time=self.clock())
+            )
+            return True
+        # Delayed pull request: buffer keyed by the v_train value whose
+        # advance will release it (Algorithm 1 lines 7-11).
+        key = self._buffer_key(progress)
+        self.callbacks[key].append(
+            _BufferedPull(
+                worker,
+                progress,
+                respond,
+                enqueue_time=self.clock(),
+                blocked_probabilistically=(progress < view.v_train + self.pull_con.staleness()),
+            )
+        )
+        self.metrics.record_pull(immediate=False, iteration=progress)
+        return False
+
+    def _buffer_key(self, progress: int) -> int:
+        if self.execution is ExecutionMode.LAZY:
+            # Flushed exactly when the slowest worker catches up to this
+            # worker's progress — the returned parameters miss nothing.
+            return progress
+        # Soft barrier: re-examined at the very next frontier advance.
+        return self.v_train
+
+    def _respond(self, req: _BufferedPull) -> None:
+        waited = self.clock() - req.enqueue_time
+        missing = max(0, req.progress + 1 - self.v_train)
+        reply = PullReply(
+            worker=req.worker,
+            progress=req.progress,
+            version=self.version,
+            v_train=self.v_train,
+            missing=missing,
+            waited=waited,
+            params=self._snapshot(),
+        )
+        self.metrics.record_response(missing=missing, waited=waited)
+        req.respond(reply)
+
+    def _snapshot(self) -> Optional[np.ndarray]:
+        if self.params is None:
+            return None
+        return self.params.copy() if self.snapshot_params else self.params
+
+    def _check_worker(self, worker: int) -> None:
+        if not 0 <= worker < self.n_workers:
+            raise ProtocolError(f"worker id {worker} out of range [0, {self.n_workers})")
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.shard_id}: model={self.model.name} "
+            f"execution={self.execution.value} v_train={self.v_train} "
+            f"buffered={self.buffered_pulls}"
+        )

@@ -1,0 +1,184 @@
+"""Convolution and pooling layers (NCHW, im2col-based).
+
+im2col turns convolution into one big GEMM — the canonical way to get
+BLAS-rate convolutions out of pure NumPy (HPC guide: replace loops with
+matrix products).  Backward reuses the same column matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ml.initializers import he_normal, zeros
+from repro.ml.layers import Layer
+
+
+def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"kernel {kernel}/stride {stride}/pad {pad} too large for input size {size}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """(B, C, H, W) → (B·OH·OW, C·kh·kw) patch matrix."""
+    b, c, h, w = x.shape
+    oh = _out_size(h, kh, stride, pad)
+    ow = _out_size(w, kw, stride, pad)
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    # Strided sliding-window view, then one copy into GEMM layout.
+    sb, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(b, c, oh, ow, kh, kw),
+        strides=(sb, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    return view.transpose(0, 2, 3, 1, 4, 5).reshape(b * oh * ow, c * kh * kw)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to (B, C, H, W)."""
+    b, c, h, w = x_shape
+    oh = _out_size(h, kh, stride, pad)
+    ow = _out_size(w, kw, stride, pad)
+    cols = cols.reshape(b, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    out = np.zeros((b, c, h + 2 * pad, w + 2 * pad))
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[
+                :, :, :, :, i, j
+            ]
+    if pad:
+        return out[:, :, pad : pad + h, pad : pad + w]
+    return out
+
+
+class Conv2D(Layer):
+    """2-D convolution with square kernel, stride, and zero padding."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        pad: Optional[int] = None,
+        name: str = "",
+    ):
+        super().__init__(name or f"conv{in_channels}x{out_channels}k{kernel}")
+        if min(in_channels, out_channels, kernel) < 1 or stride < 1:
+            raise ValueError("conv dimensions must be >= 1")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad if pad is not None else kernel // 2  # 'same' by default
+        fan_in = in_channels * kernel * kernel
+        self.add_param("W", he_normal((out_channels, in_channels, kernel, kernel), fan_in, rng))
+        self.add_param("b", zeros((out_channels,)))
+        self._cache: Optional[Tuple] = None
+
+    def forward(self, x, train=True):
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (B, {self.in_channels}, H, W), got {x.shape}"
+            )
+        b, _c, h, w = x.shape
+        oh = _out_size(h, self.kernel, self.stride, self.pad)
+        ow = _out_size(w, self.kernel, self.stride, self.pad)
+        cols = im2col(x, self.kernel, self.kernel, self.stride, self.pad)
+        w_mat = self.params["W"].reshape(self.out_channels, -1)  # (OC, C·k·k)
+        out = cols @ w_mat.T + self.params["b"]
+        self._cache = (x.shape, cols)
+        return out.reshape(b, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, dy):
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        x_shape, cols = self._cache
+        b, _oc, oh, ow = dy.shape
+        dy_mat = dy.transpose(0, 2, 3, 1).reshape(b * oh * ow, self.out_channels)
+        self.grads["W"][...] = (dy_mat.T @ cols).reshape(self.params["W"].shape)
+        self.grads["b"][...] = dy_mat.sum(axis=0)
+        dcols = dy_mat @ self.params["W"].reshape(self.out_channels, -1)
+        return col2im(dcols, x_shape, self.kernel, self.kernel, self.stride, self.pad)
+
+    def flops_per_sample(self, h: int, w: int) -> int:
+        """Multiply-add count for one input image (for compute sizing)."""
+        oh = _out_size(h, self.kernel, self.stride, self.pad)
+        ow = _out_size(w, self.kernel, self.stride, self.pad)
+        return 2 * oh * ow * self.out_channels * self.in_channels * self.kernel**2
+
+
+class MaxPool2D(Layer):
+    """Max pooling with square window."""
+
+    def __init__(self, size: int = 2, stride: Optional[int] = None, name: str = ""):
+        super().__init__(name or f"maxpool{size}")
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self.stride = stride or size
+        self._cache: Optional[Tuple] = None
+
+    def forward(self, x, train=True):
+        b, c, h, w = x.shape
+        oh = _out_size(h, self.size, self.stride, 0)
+        ow = _out_size(w, self.size, self.stride, 0)
+        cols = im2col(x, self.size, self.size, self.stride, 0)
+        cols = cols.reshape(b * oh * ow, c, self.size * self.size)
+        argmax = cols.argmax(axis=2)
+        out = np.take_along_axis(cols, argmax[:, :, None], axis=2)[:, :, 0]
+        self._cache = (x.shape, argmax, oh, ow)
+        return out.reshape(b, oh, ow, c).transpose(0, 3, 1, 2)
+
+    def backward(self, dy):
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        x_shape, argmax, oh, ow = self._cache
+        b, c, _h, _w = x_shape
+        dy_flat = dy.transpose(0, 2, 3, 1).reshape(b * oh * ow, c)
+        dcols = np.zeros((b * oh * ow, c, self.size * self.size))
+        np.put_along_axis(dcols, argmax[:, :, None], dy_flat[:, :, None], axis=2)
+        return col2im(
+            dcols.reshape(b * oh * ow, c * self.size * self.size),
+            x_shape,
+            self.size,
+            self.size,
+            self.stride,
+            0,
+        )
+
+
+class GlobalAvgPool2D(Layer):
+    """Average over spatial dims: (B, C, H, W) → (B, C)."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name or "gap")
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x, train=True):
+        if x.ndim != 4:
+            raise ValueError(f"{self.name}: expected 4D input, got {x.shape}")
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, dy):
+        if self._shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        b, c, h, w = self._shape
+        return np.broadcast_to(dy[:, :, None, None], self._shape) / (h * w)

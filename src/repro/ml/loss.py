@@ -1,0 +1,49 @@
+"""Loss and classification metrics."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. logits.
+
+    ``labels`` are integer class ids; the returned gradient is already
+    divided by the batch size (so downstream gradients are batch means).
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"expected (batch, classes) logits, got {logits.shape}")
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} does not match batch {n}")
+    probs = softmax(logits)
+    eps = 1e-12
+    loss = -np.log(probs[np.arange(n), labels] + eps).mean()
+    dlogits = probs
+    dlogits[np.arange(n), labels] -= 1.0
+    return float(loss), dlogits / n
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k classification accuracy."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, logits.shape[1])
+    topk = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())

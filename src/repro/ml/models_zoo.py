@@ -1,0 +1,175 @@
+"""Model builders: MLP proxies, mini-AlexNet, CIFAR ResNets, wire specs.
+
+Two uses, mirroring DESIGN.md's substitution table:
+
+- *trainable* networks (``mlp``, ``proxy_classifier``, ``mini_alexnet``,
+  small ``resnet_cifar``) do real gradient math in convergence runs;
+- *shape-accurate* :class:`~repro.core.keyspace.ModelSpec`\\ s for the
+  paper's exact architectures (``alexnet_cifar_spec``,
+  ``resnet_cifar_spec(56)``) size the communication in timing-only
+  simulations, together with canonical FLOP counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.keyspace import ModelSpec, TensorSpec
+from repro.ml.conv import Conv2D, GlobalAvgPool2D, MaxPool2D
+from repro.ml.data import Dataset
+from repro.ml.layers import Dense, Dropout, Flatten, ReLU
+from repro.ml.network import ResidualBlock, Sequential
+from repro.utils.rng import derive_rng
+
+
+def mlp(
+    in_dim: int,
+    hidden: Sequence[int],
+    n_classes: int,
+    rng: np.random.Generator,
+    dropout: float = 0.0,
+) -> Sequential:
+    """Multi-layer perceptron with ReLU activations."""
+    layers: List = []
+    prev = in_dim
+    for h in hidden:
+        layers.append(Dense(prev, h, rng))
+        layers.append(ReLU())
+        if dropout > 0:
+            layers.append(Dropout(dropout, rng))
+        prev = h
+    layers.append(Dense(prev, n_classes, rng))
+    return Sequential(layers)
+
+
+def proxy_classifier(
+    dataset: Dataset, hidden: Sequence[int] = (32,), seed: int = 0
+) -> Sequential:
+    """A fast MLP sized for a dataset (flattens image inputs)."""
+    rng = derive_rng(seed, "init", dataset.name)
+    x = dataset.x_train
+    if x.ndim > 2:
+        in_dim = int(np.prod(x.shape[1:]))
+        net = mlp(in_dim, hidden, dataset.n_classes, rng)
+        return Sequential([Flatten()] + list(net._layers))
+    return mlp(x.shape[1], hidden, dataset.n_classes, rng)
+
+
+def mini_alexnet(
+    n_classes: int = 10,
+    rng: Optional[np.random.Generator] = None,
+    channels: int = 3,
+    size: int = 32,
+) -> Sequential:
+    """A trainable, shrunken AlexNet-for-CIFAR (conv-pool ×2 + 2 FC)."""
+    rng = rng if rng is not None else derive_rng(0, "init", "mini_alexnet")
+    feat = size // 4  # two 2x pools
+    return Sequential(
+        [
+            Conv2D(channels, 16, 3, rng, pad=1),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(16, 32, 3, rng, pad=1),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(32 * feat * feat, 64, rng),
+            ReLU(),
+            Dense(64, n_classes, rng),
+        ]
+    )
+
+
+def resnet_cifar(
+    depth: int,
+    n_classes: int = 10,
+    rng: Optional[np.random.Generator] = None,
+    width: int = 16,
+    use_bn: bool = True,
+    channels: int = 3,
+) -> Sequential:
+    """CIFAR ResNet of He et al.: depth = 6n+2 (20, 32, 44, **56**, ...).
+
+    Three stages of n basic blocks at widths (w, 2w, 4w) with stride-2
+    transitions, global average pooling, and a linear classifier.
+    ``resnet_cifar(56)`` reproduces the paper's 0.86M-parameter model;
+    ``resnet_cifar(8)`` is the fast trainable proxy.
+    """
+    if (depth - 2) % 6 != 0 or depth < 8:
+        raise ValueError(f"CIFAR ResNet depth must be 6n+2 with n>=1, got {depth}")
+    n = (depth - 2) // 6
+    rng = rng if rng is not None else derive_rng(0, "init", f"resnet{depth}")
+    layers: List = [Conv2D(channels, width, 3, rng, pad=1), ReLU()]
+    in_ch = width
+    for stage, out_ch in enumerate((width, 2 * width, 4 * width)):
+        for block in range(n):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            layers.append(ResidualBlock(in_ch, out_ch, rng, stride=stride, use_bn=use_bn))
+            in_ch = out_ch
+    layers.append(GlobalAvgPool2D())
+    layers.append(Dense(in_ch, n_classes, rng))
+    return Sequential(layers)
+
+
+# ---------------------------------------------------------------------------
+# Shape-accurate wire specs + canonical FLOP counts for timing simulations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Workload:
+    """What a timing-only simulation needs to know about a DNN."""
+
+    name: str
+    spec: ModelSpec
+    flops_per_sample: float  # forward-pass FLOPs for one input
+    train_flops_factor: float = 3.0  # fwd+bwd ≈ 3× forward
+
+    @property
+    def train_flops_per_sample(self) -> float:
+        return self.flops_per_sample * self.train_flops_factor
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.spec.total_bytes
+
+
+def alexnet_cifar_spec(n_classes: int = 10) -> ModelSpec:
+    """The CIFAR AlexNet variant used throughout the paper's CPU-cluster
+    experiments (Caffe's cifar_full lineage): two 5×5 conv layers and
+    three FC layers — the FC1 tensor holds ~89% of the parameters, which
+    is exactly what makes PS-Lite's default slicing imbalanced."""
+    return ModelSpec.from_tensors(
+        "alexnet-cifar",
+        [
+            TensorSpec("conv1.W", (64, 3, 5, 5)),
+            TensorSpec("conv1.b", (64,)),
+            TensorSpec("conv2.W", (64, 64, 5, 5)),
+            TensorSpec("conv2.b", (64,)),
+            TensorSpec("fc1.W", (4096, 384)),
+            TensorSpec("fc1.b", (384,)),
+            TensorSpec("fc2.W", (384, 192)),
+            TensorSpec("fc2.b", (192,)),
+            TensorSpec("fc3.W", (192, n_classes)),
+            TensorSpec("fc3.b", (n_classes,)),
+        ],
+    )
+
+
+def resnet_cifar_spec(depth: int = 56, n_classes: int = 10) -> ModelSpec:
+    """Exact tensor shapes of the CIFAR ResNet at the requested depth."""
+    net = resnet_cifar(depth, n_classes=n_classes, rng=derive_rng(0, "spec", depth))
+    return net.model_spec(f"resnet{depth}-cifar")
+
+
+def alexnet_cifar_workload(n_classes: int = 10) -> Workload:
+    """AlexNet-CIFAR: ≈66 MFLOPs forward per 32×32 image."""
+    return Workload("alexnet-cifar", alexnet_cifar_spec(n_classes), flops_per_sample=66e6)
+
+
+def resnet56_cifar_workload(n_classes: int = 10) -> Workload:
+    """ResNet-56: the canonical ≈125 MFLOPs forward per CIFAR image."""
+    return Workload("resnet56-cifar", resnet_cifar_spec(56, n_classes), flops_per_sample=125e6)

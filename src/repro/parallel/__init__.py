@@ -1,0 +1,11 @@
+"""Real-concurrency execution of the FluentPS core.
+
+The discrete-event runners prove protocol behaviour; this package proves
+the same :class:`~repro.core.server.ShardServer` code is safe and live
+under true thread concurrency (one Python thread per worker, shared
+servers behind a lock, condition-variable pull waits).
+"""
+
+from repro.parallel.threaded import ThreadedResult, ThreadedRunner
+
+__all__ = ["ThreadedResult", "ThreadedRunner"]

@@ -1,0 +1,121 @@
+"""Thread-parallel FluentPS: N worker threads against shared shard servers.
+
+Each worker thread runs Algorithm 1's loop: compute a real NumPy update,
+``s_push`` it, then block on ``s_pull`` until every shard server answers.
+Server state is guarded by one lock (handler calls are short — NumPy adds
+release the GIL for the heavy part anyway); a worker whose pull became a
+DPR waits on a per-pull :class:`threading.Event` that the releasing push
+sets from whichever thread triggered the frontier advance.
+
+This runner demonstrates liveness and linearizability of the server under
+real interleavings — the co-simulation demonstrates timing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core.api import ParameterServerSystem, PullResult
+from repro.core.driver import StepContext
+from repro.core.metrics import SyncMetrics
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class ThreadedResult:
+    """Outcome of one thread-parallel training run."""
+
+    wall_time: float
+    iterations: int
+    n_workers: int
+    metrics: SyncMetrics
+    final_params: np.ndarray
+    worker_errors: List[BaseException] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.worker_errors
+
+
+class ThreadedRunner:
+    """Run N worker threads to completion against a shared PS system."""
+
+    def __init__(
+        self,
+        system: ParameterServerSystem,
+        step_fn: Callable[[StepContext], np.ndarray],
+        max_iter: int,
+        seed: int = 0,
+        timeout_s: float = 120.0,
+    ):
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.system = system
+        self.step_fn = step_fn
+        self.max_iter = max_iter
+        self.seed = seed
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._t0 = 0.0
+        system.set_clock(lambda: time.monotonic() - self._t0)
+
+    def _worker_loop(self, worker: int, errors: List[BaseException]) -> None:
+        try:
+            params = self.system.current_params()
+            rng = derive_rng(self.seed, "step", worker)
+            for i in range(self.max_iter):
+                update = self.step_fn(
+                    StepContext(worker=worker, iteration=i, params=params, rng=rng)
+                )
+                done = threading.Event()
+                box: Dict[str, PullResult] = {}
+
+                def on_complete(result: PullResult) -> None:
+                    box["result"] = result
+                    done.set()
+
+                with self._lock:
+                    self.system.s_push(worker, i, update)
+                    self.system.s_pull(worker, i, on_complete)
+                # The pull may have completed synchronously (condition held)
+                # or will be completed by another worker's push later.
+                if not done.wait(self.timeout_s):
+                    raise TimeoutError(
+                        f"worker {worker} pull for iteration {i} timed out after "
+                        f"{self.timeout_s}s (possible deadlock)"
+                    )
+                params = box["result"].params
+        except BaseException as exc:  # propagate to the caller thread
+            errors.append(exc)
+
+    def run(self) -> ThreadedResult:
+        """Start all worker threads, join them, and aggregate results."""
+        errors: List[BaseException] = []
+        self._t0 = time.monotonic()
+        threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(w, errors), name=f"fluentps-worker-{w}"
+            )
+            for w in range(self.system.n_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(self.timeout_s + 5.0)
+        alive = [t.name for t in threads if t.is_alive()]
+        if alive:
+            errors.append(TimeoutError(f"threads never finished: {alive}"))
+        wall = time.monotonic() - self._t0
+        return ThreadedResult(
+            wall_time=wall,
+            iterations=self.max_iter,
+            n_workers=self.system.n_workers,
+            metrics=self.system.merged_metrics(),
+            final_params=self.system.current_params(),
+            worker_errors=errors,
+        )

@@ -1,0 +1,332 @@
+"""Deterministic discrete-event engine with generator-based processes.
+
+The engine is a priority queue of ``(time, seq)``-ordered callbacks plus a
+small process runtime: a *process* is a Python generator that ``yield``\\ s
+waitables (:class:`Timeout`, :class:`Signal`, :class:`AllOf`, another
+:class:`Process`) and is resumed with the waitable's payload.  Ties at the
+same timestamp resolve in scheduling order (``seq``), so a run is a pure
+function of its inputs — required for reproducible co-simulation.
+
+This is intentionally simpy-shaped but self-contained (no network access
+for dependencies) and small enough to property-test exhaustively.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+ProcessGen = Generator["Waitable", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (double fire, yield of a non-waitable...)."""
+
+
+class Waitable:
+    """Base class for things a process may ``yield``."""
+
+    def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Resume the waiting process after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
+        engine.call_in(self.delay, callback, self.value)
+
+
+class Signal(Waitable):
+    """One-shot event.  ``fire(payload)`` resumes every waiter with payload.
+
+    Subscribing after the signal has fired resumes immediately (at the
+    current simulated time), so there is no lost-wakeup hazard.
+    """
+
+    __slots__ = ("_engine", "_fired", "_payload", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self._engine = engine
+        self._fired = False
+        self._payload: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+        self.name = name
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def payload(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"signal {self.name!r} has not fired")
+        return self._payload
+
+    def fire(self, payload: Any = None) -> None:
+        """Fire the signal once, resuming every current waiter with ``payload``."""
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._payload = payload
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self._engine.call_in(0.0, cb, payload)
+
+    def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
+        if engine is not self._engine:
+            raise SimulationError("signal subscribed from a foreign engine")
+        if self._fired:
+            engine.call_in(0.0, callback, self._payload)
+        else:
+            self._waiters.append(callback)
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Public hook: run ``callback(payload)`` when the signal fires
+        (immediately, at the current sim time, if it already has)."""
+        self._subscribe(self._engine, callback)
+
+
+class AllOf(Waitable):
+    """Resume when every child waitable has completed; payload is the list
+    of child payloads in the original order."""
+
+    def __init__(self, engine: "Engine", children: Iterable[Waitable]):
+        self._engine = engine
+        self._children = list(children)
+
+    def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
+        n = len(self._children)
+        if n == 0:
+            engine.call_in(0.0, callback, [])
+            return
+        results: List[Any] = [None] * n
+        remaining = [n]
+
+        def make_cb(i: int) -> Callable[[Any], None]:
+            def _cb(value: Any) -> None:
+                results[i] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    callback(results)
+
+            return _cb
+
+        for i, child in enumerate(self._children):
+            child._subscribe(engine, make_cb(i))
+
+
+class Process(Waitable):
+    """A running generator.  Waitable: joiners get the generator's return."""
+
+    __slots__ = ("_engine", "_gen", "_done", "name")
+
+    def __init__(self, engine: "Engine", gen: ProcessGen, name: str = ""):
+        self._engine = engine
+        self._gen = gen
+        self._done = Signal(engine, name=f"{name}.done")
+        self.name = name
+
+    @property
+    def finished(self) -> bool:
+        return self._done.fired
+
+    @property
+    def result(self) -> Any:
+        return self._done.payload
+
+    def _start(self) -> None:
+        self._engine.call_in(0.0, self._step, None)
+
+    def _step(self, value: Any) -> None:
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._done.fire(stop.value)
+            return
+        if not isinstance(yielded, Waitable):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(yielded).__name__}; "
+                "processes must yield Timeout/Signal/AllOf/Process"
+            )
+        yielded._subscribe(self._engine, self._step)
+
+    def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
+        self._done._subscribe(engine, callback)
+
+
+class Engine:
+    """The event loop.  All times are simulated seconds, starting at 0."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    # -- raw callback scheduling --------------------------------------
+
+    def call_in(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` seconds (FIFO at ties)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, lambda: fn(*args)))
+
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule into the past: {when} < {self.now}")
+        self.call_in(when - self.now, fn, *args)
+
+    # -- process/waitable API ------------------------------------------
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a generator as a process; returns a joinable Process."""
+        proc = Process(self, gen, name=name)
+        proc._start()
+        return proc
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A waitable that resumes after ``delay`` seconds."""
+        return Timeout(delay, value)
+
+    def signal(self, name: str = "") -> Signal:
+        """A fresh one-shot signal bound to this engine."""
+        return Signal(self, name=name)
+
+    def all_of(self, children: Iterable[Waitable]) -> AllOf:
+        """A waitable that completes when every child completes."""
+        return AllOf(self, children)
+
+    # -- running --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run one event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _seq, thunk = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self.now = when
+        self._events_processed += 1
+        thunk()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain events (optionally only up to time ``until``); returns now."""
+        budget = max_events if max_events is not None else float("inf")
+        while self._heap and budget > 0:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return self.now
+            self.step()
+            budget -= 1
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+
+class Resource:
+    """FIFO resource with integer capacity (models a NIC lane, a GPU...).
+
+    ``acquire()`` returns a :class:`Signal` the caller yields on; the
+    payload is an opaque grant token that must be passed to ``release``.
+    """
+
+    __slots__ = ("_engine", "_capacity", "_in_use", "_queue", "name")
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self._engine = engine
+        self._capacity = capacity
+        self._in_use = 0
+        self._queue: List[Signal] = []
+        self.name = name
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def acquire(self) -> Signal:
+        """Request the resource; yield the returned signal to wait for grant."""
+        sig = Signal(self._engine, name=f"{self.name}.grant")
+        if self._in_use < self._capacity:
+            self._in_use += 1
+            sig.fire(self)
+        else:
+            self._queue.append(sig)
+        return sig
+
+    def release(self) -> None:
+        """Release one grant, waking the next FIFO waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            nxt = self._queue.pop(0)
+            nxt.fire(self)
+        else:
+            self._in_use -= 1
+
+    def use(self, hold: float) -> ProcessGen:
+        """Process body: acquire, hold for ``hold`` seconds, release."""
+        yield self.acquire()
+        yield Timeout(hold)
+        self.release()
+
+
+class Store:
+    """Unbounded FIFO message queue with blocking ``get``."""
+
+    __slots__ = ("_engine", "_items", "_getters", "name")
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self._engine = engine
+        self._items: List[Any] = []
+        self._getters: List[Signal] = []
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append an item, waking the oldest blocked getter if any."""
+        if self._getters:
+            sig = self._getters.pop(0)
+            sig.fire(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Signal:
+        """A signal fired with the next item (immediately if one is queued)."""
+        sig = Signal(self._engine, name=f"{self.name}.get")
+        if self._items:
+            sig.fire(self._items.pop(0))
+        else:
+            self._getters.append(sig)
+        return sig

@@ -1,0 +1,174 @@
+"""Network model: NICs, point-to-point transfers, incast contention.
+
+Transfers serialize on the sender's TX lane and the receiver's RX lane
+(store-and-forward approximation).  RX serialization is what reproduces
+the parameter-server *incast* bottleneck: when N workers push gradients to
+one server simultaneously, the server NIC drains them one at a time, which
+is exactly why PS-Lite's imbalanced default slicing makes communication
+time dominate at scale (paper §II-B, Figure 6).
+
+All sizes are bytes, all rates bytes/second, all times seconds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import Engine, Resource, Signal, Store, Timeout
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Per-node network interface: full-duplex bandwidth + fixed overhead."""
+
+    bandwidth_Bps: float
+    overhead_s: float = 20e-6  # per-message software/serialization overhead
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_Bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_Bps}")
+        if self.overhead_s < 0:
+            raise ValueError(f"overhead must be >= 0, got {self.overhead_s}")
+
+    def serialize_time(self, size_bytes: int) -> float:
+        return self.overhead_s + size_bytes / self.bandwidth_Bps
+
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One transfer on the wire."""
+
+    src: str
+    dst: str
+    size_bytes: int
+    tag: str = ""
+    payload: Any = None
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    send_time: float = -1.0
+    deliver_time: float = -1.0
+
+
+class Endpoint:
+    """A node's attachment point: NIC lanes plus a FIFO inbox."""
+
+    def __init__(self, engine: Engine, node_id: str, nic: NicSpec):
+        self.node_id = node_id
+        self.nic = nic
+        self.tx = Resource(engine, capacity=1, name=f"{node_id}.tx")
+        self.rx = Resource(engine, capacity=1, name=f"{node_id}.rx")
+        self.inbox = Store(engine, name=f"{node_id}.inbox")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+
+class Network:
+    """Point-to-point fabric connecting registered endpoints."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        latency_s: float = 50e-6,
+        fabric_concurrency: Optional[int] = None,
+    ):
+        """``fabric_concurrency`` optionally caps simultaneous transfers,
+        modelling an oversubscribed aggregate fabric."""
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self.engine = engine
+        self.latency_s = latency_s
+        self.endpoints: Dict[str, Endpoint] = {}
+        self._fabric: Optional[Resource] = (
+            Resource(engine, capacity=fabric_concurrency, name="fabric")
+            if fabric_concurrency is not None
+            else None
+        )
+        self.total_bytes = 0
+        self.total_messages = 0
+        self._delivery_hooks: List[Callable[[Message], None]] = []
+
+    def add_node(self, node_id: str, nic: NicSpec) -> Endpoint:
+        if node_id in self.endpoints:
+            raise ValueError(f"duplicate node id {node_id!r}")
+        ep = Endpoint(self.engine, node_id, nic)
+        self.endpoints[node_id] = ep
+        return ep
+
+    def endpoint(self, node_id: str) -> Endpoint:
+        try:
+            return self.endpoints[node_id]
+        except KeyError:
+            raise KeyError(f"unknown node {node_id!r}") from None
+
+    def on_delivery(self, hook: Callable[[Message], None]) -> None:
+        """Register a hook called (in sim time) whenever a message lands."""
+        self._delivery_hooks.append(hook)
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        payload: Any = None,
+        tag: str = "",
+        deliver_to_inbox: bool = True,
+    ) -> Signal:
+        """Start a transfer; returns a Signal fired with the Message upon
+        delivery.  The message is also appended to the destination inbox
+        (unless ``deliver_to_inbox=False`` for pure timing probes)."""
+        if size_bytes < 0:
+            raise ValueError(f"negative message size: {size_bytes}")
+        src_ep = self.endpoint(src)
+        dst_ep = self.endpoint(dst)
+        msg = Message(src=src, dst=dst, size_bytes=size_bytes, tag=tag, payload=payload)
+        msg.send_time = self.engine.now
+        done = self.engine.signal(name=f"deliver:{src}->{dst}:{tag}")
+        self.engine.spawn(
+            self._transfer(msg, src_ep, dst_ep, done, deliver_to_inbox),
+            name=f"xfer:{msg.msg_id}",
+        )
+        return done
+
+    def _transfer(self, msg, src_ep, dst_ep, done, deliver_to_inbox):
+        # Sender-side serialization (FIFO on the TX lane).
+        yield src_ep.tx.acquire()
+        if self._fabric is not None:
+            yield self._fabric.acquire()
+        yield Timeout(src_ep.nic.serialize_time(msg.size_bytes))
+        src_ep.tx.release()
+        src_ep.bytes_sent += msg.size_bytes
+        src_ep.messages_sent += 1
+        # Propagation.
+        yield Timeout(self.latency_s)
+        # Receiver-side drain (incast point).
+        yield dst_ep.rx.acquire()
+        yield Timeout(dst_ep.nic.serialize_time(msg.size_bytes))
+        dst_ep.rx.release()
+        if self._fabric is not None:
+            self._fabric.release()
+        dst_ep.bytes_received += msg.size_bytes
+        dst_ep.messages_received += 1
+        self.total_bytes += msg.size_bytes
+        self.total_messages += 1
+        msg.deliver_time = self.engine.now
+        if deliver_to_inbox:
+            dst_ep.inbox.put(msg)
+        for hook in self._delivery_hooks:
+            hook(msg)
+        done.fire(msg)
+
+    def transfer_time_estimate(self, src: str, dst: str, size_bytes: int) -> float:
+        """Uncontended end-to-end transfer time (analytic, for sizing)."""
+        src_ep = self.endpoint(src)
+        dst_ep = self.endpoint(dst)
+        return (
+            src_ep.nic.serialize_time(size_bytes)
+            + self.latency_s
+            + dst_ep.nic.serialize_time(size_bytes)
+        )

@@ -1,0 +1,378 @@
+"""Co-simulation runner: FluentPS protocol × network model × real gradients.
+
+This binds the three substrates together (DESIGN.md's centerpiece):
+
+- worker processes compute for a sampled duration (straggler model), then
+  sPush their update shards and sPull the next parameters over the
+  simulated network;
+- each :class:`~repro.core.server.ShardServer` applies real NumPy updates
+  and runs its own pull/push conditions — **overlap synchronization**
+  falls out of the architecture: a shard answers its pulls the moment its
+  own condition allows, independent of the other M−1 shards (Figure 4b);
+- when a :class:`~repro.ml.training.TrainingTask` is attached, gradient
+  math is real and accuracy-vs-time curves come out; without one the run
+  is timing-only against a :class:`~repro.ml.models_zoo.Workload` spec.
+
+``wire_scale`` lets a small trainable proxy model carry the *paper
+model's* wire footprint: message sizes are multiplied so the network sees
+ResNet-56-sized transfers while the gradients stay cheap to compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.driver import StepContext
+from repro.core.filters import NoFilter, PushFilter
+from repro.core.keyspace import ElasticSlicer, ModelSpec, Slicer
+from repro.core.layout import ShardLayout
+from repro.core.metrics import SyncMetrics
+from repro.core.models import SyncModel
+from repro.core.server import ExecutionMode, PullReply, ShardServer
+from repro.ml.models_zoo import Workload
+from repro.ml.training import TrainingTask
+from repro.sim.cluster import ClusterSpec
+from repro.sim.engine import Engine, Timeout
+from repro.sim.network import Message, Network
+from repro.sim.stragglers import ComputeModel, LogNormalCompute
+from repro.sim.trace import SpanKind, TraceRecorder
+from repro.utils.records import SeriesRecord
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class SimConfig:
+    """Everything one co-simulated training run needs."""
+
+    cluster: ClusterSpec
+    max_iter: int
+    sync: Union[SyncModel, Sequence[SyncModel]]
+    execution: ExecutionMode = ExecutionMode.LAZY
+    slicer: Optional[Slicer] = None
+    compute_model: Optional[ComputeModel] = None
+    base_compute_time: Optional[float] = None  # None → derive from workload
+    batch_per_worker: int = 128
+    task: Optional[TrainingTask] = None
+    workload: Optional[Workload] = None
+    wire_scale: Optional[float] = None  # None → auto from workload/task sizes
+    seed: int = 0
+    eval_every: int = 0
+    keep_spans: bool = False
+    header_bytes: int = 256
+    request_bytes: int = 128
+    #: Server processing time per handled request (queue pop, dispatch).
+    server_op_overhead_s: float = 20e-6
+    #: Protocol cost per DPR event: server-side buffering/re-check work
+    #: plus the blocked worker's share of the retry round-trip.  Frequent
+    #: soft barriers pay this once per re-buffer — the per-event cost
+    #: behind lazy execution's 1.2x speedup (Fig 8) and part of PSSP's
+    #: time advantage over SSP under the soft barrier (Fig 9/10).
+    dpr_overhead_s: float = 500e-6
+    #: Optional per-worker push filter (PS-Lite programming filters /
+    #: Gaia significance filter): called as ``push_filter_factory()`` once
+    #: per worker; shrinks push wire bytes by the filtered fraction.
+    push_filter_factory: Optional[Callable[[], "PushFilter"]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        if self.task is None and self.workload is None:
+            raise ValueError("need a TrainingTask and/or a Workload")
+        if self.task is not None and self.task.n_workers != self.cluster.n_workers:
+            raise ValueError(
+                f"task built for {self.task.n_workers} workers, cluster has "
+                f"{self.cluster.n_workers}"
+            )
+
+    @property
+    def spec(self) -> ModelSpec:
+        return self.task.spec if self.task is not None else self.workload.spec
+
+    def resolved_wire_scale(self) -> float:
+        if self.wire_scale is not None:
+            if self.wire_scale <= 0:
+                raise ValueError("wire_scale must be positive")
+            return self.wire_scale
+        if self.task is not None and self.workload is not None:
+            return self.workload.wire_bytes / self.spec.total_bytes
+        return 1.0
+
+    def resolved_base_compute(self, node_flops: float) -> float:
+        if self.base_compute_time is not None:
+            if self.base_compute_time <= 0:
+                raise ValueError("base_compute_time must be positive")
+            return self.base_compute_time
+        if self.workload is not None:
+            return self.workload.train_flops_per_sample * self.batch_per_worker / node_flops
+        # No workload: a nominal per-iteration second keeps ratios readable.
+        return 1.0
+
+
+@dataclass
+class SimRunResult:
+    """Outcome of one co-simulated run."""
+
+    duration: float
+    iterations: int
+    n_workers: int
+    metrics: SyncMetrics
+    trace: TraceRecorder
+    total_compute_time: float
+    total_comm_time: float
+    bytes_on_wire: int
+    messages_on_wire: int
+    final_params: Optional[np.ndarray] = None
+    eval_by_time: SeriesRecord = field(default_factory=lambda: SeriesRecord("eval"))
+    eval_by_iteration: SeriesRecord = field(default_factory=lambda: SeriesRecord("eval"))
+    worker_finish_times: List[float] = field(default_factory=list)
+
+    @property
+    def mean_compute_time(self) -> float:
+        return self.total_compute_time / self.n_workers
+
+    @property
+    def mean_comm_time(self) -> float:
+        return self.total_comm_time / self.n_workers
+
+    def dprs_per_100_iterations(self) -> float:
+        return self.metrics.dprs_per_100_iterations(self.iterations)
+
+
+@dataclass
+class _PushMsg:
+    worker: int
+    progress: int
+    shard: Optional[np.ndarray]
+
+
+@dataclass
+class _PullMsg:
+    worker: int
+    progress: int
+
+
+@dataclass
+class _ReplyMsg:
+    server: int
+    reply: PullReply
+
+
+class _PendingPull:
+    __slots__ = ("flat", "remaining", "signal", "max_missing")
+
+    def __init__(self, engine: Engine, n_servers: int, n_elements: Optional[int]):
+        self.flat = np.empty(n_elements) if n_elements is not None else None
+        self.remaining = n_servers
+        self.signal = engine.signal("pull-complete")
+        self.max_missing = 0
+
+
+class FluentPSSimRunner:
+    """Run one FluentPS training job on the simulated cluster."""
+
+    def __init__(self, config: SimConfig):
+        self.cfg = config
+        self.engine = Engine()
+        self.net: Network = config.cluster.make_network(self.engine)
+        self.trace = TraceRecorder(keep_spans=config.keep_spans)
+        self.spec = config.spec
+        slicer = config.slicer or ElasticSlicer()
+        self.layout = ShardLayout(self.spec, slicer.slice(self.spec, config.cluster.n_servers))
+        self.wire_scale = config.resolved_wire_scale()
+        self.compute_model = config.compute_model or LogNormalCompute(0.2)
+
+        n, m = config.cluster.n_workers, config.cluster.n_servers
+        models = self._normalize_models(config.sync, m)
+        training = config.task is not None
+        if training:
+            shard_vectors = self.layout.scatter(config.task.init_params.astype(np.float64))
+        self.servers: List[ShardServer] = [
+            ShardServer(
+                shard_id=j,
+                n_workers=n,
+                model=models[j],
+                execution=config.execution,
+                params=shard_vectors[j] if training else None,
+                clock=lambda: self.engine.now,
+                rng=derive_rng(config.seed, "server", j),
+            )
+            for j in range(m)
+        ]
+        self._pending: Dict[Tuple[int, int], _PendingPull] = {}
+        self._filters: List[PushFilter] = [
+            config.push_filter_factory() if config.push_filter_factory else NoFilter()
+            for _ in range(n)
+        ]
+        self._compute_rngs = [derive_rng(config.seed, "compute", w) for w in range(n)]
+        self._step_rngs = [derive_rng(config.seed, "step", w) for w in range(n)]
+        self.eval_by_time = SeriesRecord("eval", x_label="time_s", y_label="metric")
+        self.eval_by_iteration = SeriesRecord("eval", x_label="iteration", y_label="metric")
+        self._finish_times: List[float] = [0.0] * n
+
+    @staticmethod
+    def _normalize_models(
+        sync: Union[SyncModel, Sequence[SyncModel]], m: int
+    ) -> List[SyncModel]:
+        if isinstance(sync, SyncModel):
+            return [sync] * m
+        models = list(sync)
+        if len(models) != m:
+            raise ValueError(f"need one sync model per server, got {len(models)} for {m}")
+        return models
+
+    # -- sizing ---------------------------------------------------------------
+
+    def _payload_bytes(self, server: int) -> int:
+        return int(self.layout.shard_bytes(server) * self.wire_scale) + self.cfg.header_bytes
+
+    # -- server side ----------------------------------------------------------
+
+    def _server_proc(self, m: int):
+        ep = self.net.endpoint(self.cfg.cluster.server_id(m))
+        server = self.servers[m]
+        while True:
+            msg: Message = yield ep.inbox.get()
+            payload = msg.payload
+            dprs_before = server.metrics.dprs
+            if isinstance(payload, _PushMsg):
+                server.handle_push(payload.worker, payload.progress, grad=payload.shard)
+            elif isinstance(payload, _PullMsg):
+                server.handle_pull(
+                    payload.worker,
+                    payload.progress,
+                    respond=lambda reply, j=m: self._send_reply(j, reply),
+                )
+            else:
+                raise TypeError(f"server {m}: unexpected message payload {payload!r}")
+            # Charge server processing time: fixed per request plus per
+            # DPR event this request caused (buffer/re-check bookkeeping).
+            cost = self.cfg.server_op_overhead_s
+            cost += (server.metrics.dprs - dprs_before) * self.cfg.dpr_overhead_s
+            if cost > 0:
+                yield Timeout(cost)
+
+    def _send_reply(self, server: int, reply: PullReply) -> None:
+        self.net.send(
+            self.cfg.cluster.server_id(server),
+            self.cfg.cluster.worker_id(reply.worker),
+            self._payload_bytes(server),
+            payload=_ReplyMsg(server, reply),
+            tag="reply",
+        ).subscribe(self._on_reply_delivered)
+
+    def _on_reply_delivered(self, msg: Message) -> None:
+        payload: _ReplyMsg = msg.payload
+        reply = payload.reply
+        pending = self._pending[(reply.worker, reply.progress)]
+        if pending.flat is not None and reply.params is not None:
+            self.layout.gather_into(pending.flat, payload.server, reply.params)
+        pending.max_missing = max(pending.max_missing, reply.missing)
+        pending.remaining -= 1
+        if pending.remaining == 0:
+            del self._pending[(reply.worker, reply.progress)]
+            pending.signal.fire(pending)
+
+    # -- worker side ---------------------------------------------------------------
+
+    def _worker_proc(self, w: int):
+        cfg = self.cfg
+        node = cfg.cluster.worker_id(w)
+        name = f"worker{w}"
+        base = cfg.resolved_base_compute(cfg.cluster.workers[w].flops)
+        params = cfg.task.init_params.copy() if cfg.task is not None else None
+        for i in range(cfg.max_iter):
+            dur = self.compute_model.sample(w, i, base, self._compute_rngs[w])
+            t0 = self.engine.now
+            yield Timeout(dur)
+            self.trace.record_span(name, SpanKind.COMPUTE, t0, self.engine.now, i)
+            wire_factor = 1.0
+            if cfg.task is not None:
+                update = cfg.task.step_fn(
+                    StepContext(worker=w, iteration=i, params=params, rng=self._step_rngs[w])
+                )
+                filtered = self._filters[w].apply(update, params, i)
+                wire_factor = filtered.wire_bytes_factor
+                shards = self.layout.scatter(filtered.update)
+            else:
+                shards = [None] * cfg.cluster.n_servers
+            # sPush to every shard server (async — Algorithm 1 line 4).
+            t_sync = self.engine.now
+            for m in range(cfg.cluster.n_servers):
+                self.net.send(
+                    node,
+                    cfg.cluster.server_id(m),
+                    max(cfg.header_bytes, int(self._payload_bytes(m) * wire_factor)),
+                    payload=_PushMsg(w, i, shards[m]),
+                    tag="push",
+                )
+            # sPull from every shard server, then wait (lines 5-6).  The
+            # push/pull messages share the worker's FIFO TX lane, so each
+            # server sees this iteration's push before its pull.
+            pending = _PendingPull(
+                self.engine,
+                cfg.cluster.n_servers,
+                self.spec.total_elements if cfg.task is not None else None,
+            )
+            self._pending[(w, i)] = pending
+            for m in range(cfg.cluster.n_servers):
+                self.net.send(
+                    node,
+                    cfg.cluster.server_id(m),
+                    cfg.request_bytes,
+                    payload=_PullMsg(w, i),
+                    tag="pull",
+                )
+            yield pending.signal
+            self.trace.record_span(name, SpanKind.PULL, t_sync, self.engine.now, i)
+            if params is not None:
+                params = pending.flat
+            if w == 0 and cfg.task is not None and cfg.eval_every > 0:
+                if (i + 1) % cfg.eval_every == 0 or i + 1 == cfg.max_iter:
+                    value = cfg.task.eval_fn(self._global_params())
+                    self.eval_by_time.append(self.engine.now, value)
+                    self.eval_by_iteration.append(i + 1, value)
+        self._finish_times[w] = self.engine.now
+
+    def _global_params(self) -> np.ndarray:
+        return self.layout.gather([s.params for s in self.servers])
+
+    # -- run ---------------------------------------------------------------------------
+
+    def run(self) -> SimRunResult:
+        """Execute the co-simulation to completion and aggregate results."""
+        for m in range(self.cfg.cluster.n_servers):
+            self.engine.spawn(self._server_proc(m), name=f"server{m}")
+        for w in range(self.cfg.cluster.n_workers):
+            self.engine.spawn(self._worker_proc(w), name=f"worker{w}")
+        self.engine.run()
+        if self._pending:
+            raise RuntimeError(
+                f"simulation drained with {len(self._pending)} unanswered pulls "
+                "(synchronization deadlock)"
+            )
+        worker_names = [f"worker{w}" for w in range(self.cfg.cluster.n_workers)]
+        total_compute = self.trace.compute_time(worker_names)
+        total_wall = sum(self._finish_times)
+        return SimRunResult(
+            duration=max(self._finish_times),
+            iterations=self.cfg.max_iter,
+            n_workers=self.cfg.cluster.n_workers,
+            metrics=SyncMetrics.merge_all(s.metrics for s in self.servers),
+            trace=self.trace,
+            total_compute_time=total_compute,
+            total_comm_time=max(0.0, total_wall - total_compute),
+            bytes_on_wire=self.net.total_bytes,
+            messages_on_wire=self.net.total_messages,
+            final_params=self._global_params() if self.cfg.task is not None else None,
+            eval_by_time=self.eval_by_time,
+            eval_by_iteration=self.eval_by_iteration,
+            worker_finish_times=list(self._finish_times),
+        )
+
+
+def run_fluentps(config: SimConfig) -> SimRunResult:
+    """One-call convenience wrapper."""
+    return FluentPSSimRunner(config).run()

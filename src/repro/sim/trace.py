@@ -1,0 +1,158 @@
+"""Timeline tracing: spans, counters and the Fig 3/5-style summaries.
+
+Each actor (worker/server) records spans — compute, push wait, pull wait,
+blocked-in-barrier — from which the benches derive exactly the quantities
+the paper reports: computation vs. communication time (Fig 6), DPR counts
+(Fig 9, Table IV), and the timeline diagrams (Fig 3, Fig 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class SpanKind(enum.Enum):
+    COMPUTE = "compute"
+    PUSH = "push"  # time from issuing a push until server ack received
+    PULL = "pull"  # time from issuing a pull until parameters received
+    BLOCKED = "blocked"  # extra wait inside a barrier/DPR buffer
+    SERVER_APPLY = "server_apply"
+    OTHER = "other"
+
+
+#: Span kinds counted as "communication" in Fig-6-style breakdowns.
+COMM_KINDS = (SpanKind.PUSH, SpanKind.PULL, SpanKind.BLOCKED)
+
+
+@dataclass(frozen=True)
+class Span:
+    actor: str
+    kind: SpanKind
+    t0: float
+    t1: float
+    iteration: int = -1
+    note: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class TraceRecorder:
+    """Accumulates spans and named counters for one simulated run."""
+
+    def __init__(self, keep_spans: bool = True):
+        self.keep_spans = keep_spans
+        self.spans: List[Span] = []
+        self.counters: Dict[str, float] = defaultdict(float)
+        self._totals: Dict[Tuple[str, SpanKind], float] = defaultdict(float)
+        self._span_counts: Dict[Tuple[str, SpanKind], int] = defaultdict(int)
+        self.end_time: float = 0.0
+
+    def record_span(
+        self,
+        actor: str,
+        kind: SpanKind,
+        t0: float,
+        t1: float,
+        iteration: int = -1,
+        note: str = "",
+    ) -> None:
+        """Record one ``[t0, t1]`` span of ``kind`` for ``actor``."""
+        if t1 < t0:
+            raise ValueError(f"span ends before it starts: [{t0}, {t1}]")
+        if self.keep_spans:
+            self.spans.append(Span(actor, kind, t0, t1, iteration, note))
+        self._totals[(actor, kind)] += t1 - t0
+        self._span_counts[(actor, kind)] += 1
+        self.end_time = max(self.end_time, t1)
+
+    def incr(self, counter: str, by: float = 1.0) -> None:
+        """Increment a named counter."""
+        self.counters[counter] += by
+
+    # -- aggregation ----------------------------------------------------
+
+    def actors(self) -> List[str]:
+        """All actor names seen so far, sorted."""
+        return sorted({a for (a, _k) in self._totals})
+
+    def total(self, actor: str, kind: SpanKind) -> float:
+        """Total seconds of ``kind`` recorded for ``actor``."""
+        return self._totals.get((actor, kind), 0.0)
+
+    def count(self, actor: str, kind: SpanKind) -> int:
+        """Number of ``kind`` spans recorded for ``actor``."""
+        return self._span_counts.get((actor, kind), 0)
+
+    def total_by_kind(self, kind: SpanKind, actors: Optional[Iterable[str]] = None) -> float:
+        """Total seconds of ``kind`` across ``actors`` (all if None)."""
+        if actors is None:
+            return sum(v for (a, k), v in self._totals.items() if k is kind)
+        wanted = set(actors)
+        return sum(v for (a, k), v in self._totals.items() if k is kind and a in wanted)
+
+    def compute_time(self, actors: Optional[Iterable[str]] = None) -> float:
+        """Aggregate compute seconds across (worker) actors."""
+        return self.total_by_kind(SpanKind.COMPUTE, actors)
+
+    def comm_time(self, actors: Optional[Iterable[str]] = None) -> float:
+        """Aggregate communication+wait seconds across (worker) actors."""
+        return sum(self.total_by_kind(k, actors) for k in COMM_KINDS)
+
+    def breakdown(self, actor: str) -> Dict[str, float]:
+        """Seconds per span kind for one actor."""
+        return {k.value: self.total(actor, k) for k in SpanKind}
+
+    def mean_breakdown(self, actors: Iterable[str]) -> Dict[str, float]:
+        """Per-kind seconds averaged over ``actors``."""
+        actors = list(actors)
+        if not actors:
+            raise ValueError("need at least one actor")
+        out: Dict[str, float] = {k.value: 0.0 for k in SpanKind}
+        for a in actors:
+            for k in SpanKind:
+                out[k.value] += self.total(a, k)
+        return {k: v / len(actors) for k, v in out.items()}
+
+    # -- rendering (examples / figure 3&5 demos) -------------------------
+
+    def render_timeline(
+        self,
+        actors: Optional[List[str]] = None,
+        width: int = 80,
+        t_max: Optional[float] = None,
+    ) -> str:
+        """ASCII Gantt: one row per actor; '#'=compute, '>'=push, '<'=pull,
+        '.'=blocked.  Resolution is t_max/width per character."""
+        if not self.keep_spans:
+            raise ValueError("timeline rendering needs keep_spans=True")
+        if actors is None:
+            actors = self.actors()
+        t_max = t_max if t_max is not None else (self.end_time or 1.0)
+        glyph = {
+            SpanKind.COMPUTE: "#",
+            SpanKind.PUSH: ">",
+            SpanKind.PULL: "<",
+            SpanKind.BLOCKED: ".",
+            SpanKind.SERVER_APPLY: "*",
+            SpanKind.OTHER: "~",
+        }
+        rows = []
+        label_w = max((len(a) for a in actors), default=4) + 1
+        for actor in actors:
+            cells = [" "] * width
+            for s in self.spans:
+                if s.actor != actor or s.t0 >= t_max:
+                    continue
+                c0 = int(s.t0 / t_max * width)
+                c1 = max(c0 + 1, int(min(s.t1, t_max) / t_max * width))
+                for c in range(c0, min(c1, width)):
+                    cells[c] = glyph[s.kind]
+            rows.append(actor.ljust(label_w) + "|" + "".join(cells) + "|")
+        header = " " * label_w + f"0{'':{width - 10}}{t_max:.3g}s".rjust(0)
+        legend = "legend: #=compute  >=push  <=pull  .=blocked/barrier  *=apply"
+        return "\n".join([header] + rows + [legend])

@@ -1,0 +1,67 @@
+"""ASCII line plots for SeriesRecords (accuracy-vs-time curves).
+
+The paper's Figures 8/10/11 are curves; benches print their series as
+rows, and examples render them as terminal plots with this module — no
+plotting dependency needed offline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.utils.records import SeriesRecord
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Sequence[SeriesRecord],
+    width: int = 72,
+    height: int = 16,
+    title: Optional[str] = None,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render one or more series on a shared-axis character grid."""
+    series = [s for s in series if len(s)]
+    if not series:
+        raise ValueError("nothing to plot: all series empty")
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4 characters")
+    xs_all = [x for s in series for x in s.x]
+    ys_all = [y for s in series for y in s.y]
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo = y_min if y_min is not None else min(ys_all)
+    y_hi = y_max if y_max is not None else max(ys_all)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for x, y in zip(s.x, s.y):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = max(len(f"{y_hi:.3g}"), len(f"{y_lo:.3g}"))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_hi:.3g}".rjust(label_w)
+        elif r == height - 1:
+            label = f"{y_lo:.3g}".rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}|")
+    x_axis = f"{x_lo:.3g}".ljust(width // 2) + f"{x_hi:.3g}".rjust(width - width // 2)
+    lines.append(" " * label_w + "  " + x_axis)
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the FluentPS reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.keyspace import ModelSpec, TensorSpec
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_spec():
+    """A small two-tensor model used across PS tests."""
+    return ModelSpec.from_tensors(
+        "tiny", [TensorSpec("w", (6, 4)), TensorSpec("b", (4,))]
+    )
+
+
+@pytest.fixture
+def quadratic_problem(rng, tiny_spec):
+    """A convex target problem: minimize ||params - target||^2/2."""
+    target = rng.normal(size=tiny_spec.total_elements)
+
+    def make_step(lr=0.25, noise=0.0):
+        def step(ctx):
+            grad = ctx.params - target
+            if noise:
+                grad = grad + noise * ctx.rng.normal(size=grad.shape)
+            return -lr * grad
+
+        return step
+
+    return tiny_spec, target, make_step

@@ -1,0 +1,79 @@
+"""Tests for checkpoint/restore (server-failure recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import blobs_task
+from repro.core import ExecutionMode, ParameterServerSystem, VirtualClockDriver, ssp
+
+
+@pytest.fixture
+def task():
+    return blobs_task(4, n_train=300, n_test=80, seed=2)
+
+
+def make_system(task):
+    return ParameterServerSystem(
+        task.spec, task.init_params, 4, 2, ssp(2), ExecutionMode.LAZY, seed=0
+    )
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_exact_state(self, task):
+        system = make_system(task)
+        VirtualClockDriver(system, task.step_fn, max_iter=30, seed=1).run()
+        state = system.checkpoint()
+        params_at_ckpt = system.current_params()
+
+        # Continue training, then roll back.
+        VirtualClockDriver(system, task.step_fn, max_iter=30, seed=2,
+                           start_iteration=30).run()
+        assert not np.allclose(system.current_params(), params_at_ckpt)
+        system.restore(state)
+        np.testing.assert_allclose(system.current_params(), params_at_ckpt)
+        for server, shard in zip(system.servers, state["shards"]):
+            assert server.v_train == shard["v_train"]
+            assert server.worker_progress == shard["worker_progress"]
+
+    def test_resumed_training_is_protocol_legal(self, task):
+        """After restore, workers resume pushing from their recorded
+        progress — the sequential-push protocol check must accept it."""
+        system = make_system(task)
+        VirtualClockDriver(system, task.step_fn, max_iter=25, seed=1).run()
+        state = system.checkpoint()
+        fresh = make_system(task)
+        fresh.restore(state)
+        # Workers continue at progress 25 on the restored system.
+        z = np.zeros(task.spec.total_elements)
+        fresh.s_push(0, 25, z)  # must not raise ProtocolError
+        assert fresh.servers[0].worker_progress[0] == 25
+
+    def test_checkpoint_requires_quiescence(self, task):
+        system = ParameterServerSystem(
+            task.spec, task.init_params, 4, 2, ssp(1), ExecutionMode.LAZY, seed=0
+        )
+        z = np.zeros(task.spec.total_elements)
+        system.s_push(0, 0, z)
+        system.s_push(0, 1, z)
+        system.s_pull(0, 1, lambda r: None)
+        with pytest.raises(RuntimeError, match="quiescence"):
+            system.checkpoint()
+
+    def test_restore_server_count_checked(self, task):
+        system = make_system(task)
+        state = system.checkpoint()
+        other = ParameterServerSystem(
+            task.spec, task.init_params, 4, 3, ssp(2), ExecutionMode.LAZY, seed=0
+        )
+        with pytest.raises(ValueError, match="resize first"):
+            other.restore(state)
+
+    def test_checkpoint_is_deep(self, task):
+        """Mutating the live system must not corrupt the snapshot."""
+        system = make_system(task)
+        VirtualClockDriver(system, task.step_fn, max_iter=10, seed=1).run()
+        state = system.checkpoint()
+        count_copy = dict(state["shards"][0]["count"])
+        VirtualClockDriver(system, task.step_fn, max_iter=10, seed=2,
+                           start_iteration=10).run()
+        assert state["shards"][0]["count"] == count_copy

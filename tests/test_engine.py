@@ -1,0 +1,343 @@
+"""Unit + property tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import (
+    AllOf,
+    Engine,
+    Resource,
+    Signal,
+    SimulationError,
+    Store,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_call_in_runs_at_right_time(self):
+        eng = Engine()
+        seen = []
+        eng.call_in(2.0, lambda: seen.append(eng.now))
+        eng.call_in(1.0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [1.0, 2.0]
+
+    def test_fifo_at_equal_times(self):
+        eng = Engine()
+        seen = []
+        for i in range(10):
+            eng.call_in(1.0, lambda i=i: seen.append(i))
+        eng.run()
+        assert seen == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.call_in(-0.1, lambda: None)
+
+    def test_call_at_past_rejected(self):
+        eng = Engine()
+        eng.call_in(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.call_at(1.0, lambda: None)
+
+    def test_run_until_stops_clock_at_until(self):
+        eng = Engine()
+        eng.call_in(10.0, lambda: None)
+        eng.run(until=3.0)
+        assert eng.now == 3.0
+        assert eng.pending_events == 1
+        eng.run()
+        assert eng.now == 10.0
+
+    def test_run_until_beyond_last_event_advances_clock(self):
+        eng = Engine()
+        eng.call_in(1.0, lambda: None)
+        eng.run(until=7.5)
+        assert eng.now == 7.5
+
+    def test_max_events_budget(self):
+        eng = Engine()
+        for _ in range(5):
+            eng.call_in(1.0, lambda: None)
+        eng.run(max_events=3)
+        assert eng.events_processed == 3
+        assert eng.pending_events == 2
+
+    def test_nested_scheduling(self):
+        eng = Engine()
+        seen = []
+
+        def outer():
+            seen.append(("outer", eng.now))
+            eng.call_in(1.5, lambda: seen.append(("inner", eng.now)))
+
+        eng.call_in(1.0, outer)
+        eng.run()
+        assert seen == [("outer", 1.0), ("inner", 2.5)]
+
+
+class TestSignal:
+    def test_fire_resumes_waiters_with_payload(self):
+        eng = Engine()
+        sig = eng.signal("s")
+        got = []
+        sig.subscribe(got.append)
+        sig.subscribe(got.append)
+        sig.fire(42)
+        eng.run()
+        assert got == [42, 42]
+
+    def test_subscribe_after_fire_immediate(self):
+        eng = Engine()
+        sig = eng.signal()
+        sig.fire("x")
+        got = []
+        sig.subscribe(got.append)
+        eng.run()
+        assert got == ["x"]
+
+    def test_double_fire_rejected(self):
+        eng = Engine()
+        sig = eng.signal("dup")
+        sig.fire()
+        with pytest.raises(SimulationError):
+            sig.fire()
+
+    def test_payload_before_fire_rejected(self):
+        eng = Engine()
+        sig = eng.signal()
+        with pytest.raises(SimulationError):
+            _ = sig.payload
+
+    def test_foreign_engine_rejected(self):
+        a, b = Engine(), Engine()
+        sig = a.signal()
+        with pytest.raises(SimulationError):
+            sig._subscribe(b, lambda _: None)
+
+
+class TestProcess:
+    def test_simple_timeout_process(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            log.append(eng.now)
+            yield Timeout(2.0)
+            log.append(eng.now)
+            yield Timeout(3.0)
+            log.append(eng.now)
+            return "done"
+
+        p = eng.spawn(proc())
+        eng.run()
+        assert log == [0.0, 2.0, 5.0]
+        assert p.finished and p.result == "done"
+
+    def test_process_waits_on_signal(self):
+        eng = Engine()
+        sig = eng.signal()
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append((eng.now, value))
+
+        eng.spawn(waiter())
+        eng.call_in(4.0, lambda: sig.fire("hello"))
+        eng.run()
+        assert got == [(4.0, "hello")]
+
+    def test_process_join(self):
+        eng = Engine()
+
+        def child():
+            yield Timeout(1.0)
+            return 99
+
+        def parent():
+            result = yield eng.spawn(child())
+            return result + 1
+
+        p = eng.spawn(parent())
+        eng.run()
+        assert p.result == 100
+
+    def test_yield_non_waitable_raises(self):
+        eng = Engine()
+
+        def bad():
+            yield 42
+
+        eng.spawn(bad())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_all_of_collects_in_order(self):
+        eng = Engine()
+        s1, s2 = eng.signal(), eng.signal()
+        got = []
+
+        def waiter():
+            values = yield AllOf(eng, [s1, s2, Timeout(1.0, "t")])
+            got.append((eng.now, values))
+
+        eng.spawn(waiter())
+        eng.call_in(5.0, lambda: s1.fire("a"))
+        eng.call_in(2.0, lambda: s2.fire("b"))
+        eng.run()
+        assert got == [(5.0, ["a", "b", "t"])]
+
+    def test_all_of_empty(self):
+        eng = Engine()
+        got = []
+
+        def waiter():
+            values = yield eng.all_of([])
+            got.append(values)
+
+        eng.spawn(waiter())
+        eng.run()
+        assert got == [[]]
+
+
+class TestResource:
+    def test_fifo_serialization(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        order = []
+
+        def user(i, hold):
+            yield res.acquire()
+            yield Timeout(hold)
+            order.append((i, eng.now))
+            res.release()
+
+        for i in range(3):
+            eng.spawn(user(i, 2.0))
+        eng.run()
+        assert order == [(0, 2.0), (1, 4.0), (2, 6.0)]
+
+    def test_capacity_two_overlaps(self):
+        eng = Engine()
+        res = Resource(eng, capacity=2)
+        order = []
+
+        def user(i):
+            yield res.acquire()
+            yield Timeout(2.0)
+            order.append((i, eng.now))
+            res.release()
+
+        for i in range(4):
+            eng.spawn(user(i))
+        eng.run()
+        assert [t for _i, t in order] == [2.0, 2.0, 4.0, 4.0]
+
+    def test_release_idle_rejected(self):
+        eng = Engine()
+        res = Resource(eng)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Engine(), capacity=0)
+
+    def test_queue_length_tracking(self):
+        eng = Engine()
+        res = Resource(eng)
+        res.acquire()
+        res.acquire()
+        res.acquire()
+        assert res.in_use == 1
+        assert res.queue_length == 2
+
+
+class TestStore:
+    def test_put_then_get(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put("a")
+        store.put("b")
+        got = []
+        store.get().subscribe(got.append)
+        store.get().subscribe(got.append)
+        eng.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((eng.now, item))
+
+        eng.spawn(consumer())
+        eng.call_in(3.0, lambda: store.put("late"))
+        eng.run()
+        assert got == [(3.0, "late")]
+
+    def test_len(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestDeterminism:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_time_monotonic_and_repeatable(self, delays):
+        def run():
+            eng = Engine()
+            seen = []
+            for i, d in enumerate(delays):
+                eng.call_in(d, lambda i=i: seen.append((eng.now, i)))
+            eng.run()
+            return seen
+
+        a, b = run(), run()
+        assert a == b
+        times = [t for t, _ in a]
+        assert times == sorted(times)
+
+    @given(
+        holds=st.lists(
+            st.floats(min_value=0.01, max_value=5.0, allow_nan=False), min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resource_conserves_total_hold(self, holds):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        done = []
+
+        def user(hold):
+            yield res.acquire()
+            yield Timeout(hold)
+            res.release()
+            done.append(eng.now)
+
+        for h in holds:
+            eng.spawn(user(h))
+        eng.run()
+        assert len(done) == len(holds)
+        assert done[-1] == pytest.approx(sum(holds))

@@ -1,0 +1,166 @@
+"""Tests for push filters (Gaia significance, top-k, random sparsifier)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters import (
+    FilterResult,
+    NoFilter,
+    PushFilter,
+    RandomSparsifier,
+    SignificanceFilter,
+    TopKFilter,
+)
+from repro.utils.rng import derive_rng
+
+
+class TestFilterResult:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FilterResult(np.zeros(1), sent_fraction=1.5, wire_bytes_factor=1.0)
+        with pytest.raises(ValueError):
+            FilterResult(np.zeros(1), sent_fraction=0.5, wire_bytes_factor=-1.0)
+
+
+class TestNoFilter:
+    def test_identity(self, rng):
+        u = rng.normal(size=10)
+        r = NoFilter().apply(u, None, 0)
+        np.testing.assert_array_equal(r.update, u)
+        assert r.wire_bytes_factor == 1.0
+
+
+class TestSignificanceFilter:
+    def test_significant_elements_pass(self):
+        f = SignificanceFilter(threshold=0.01)
+        params = np.ones(4)
+        u = np.array([0.5, 0.001, 0.5, 0.001])
+        r = f.apply(u, params, 0)
+        np.testing.assert_array_equal(r.update, [0.5, 0.0, 0.5, 0.0])
+        assert r.sent_fraction == 0.5
+
+    def test_residual_accumulates_until_significant(self):
+        f = SignificanceFilter(threshold=0.01)
+        params = np.ones(1)
+        sent_total = 0.0
+        for _ in range(3):
+            r = f.apply(np.array([0.004]), params, 0)
+            sent_total += float(r.update[0])
+        # 0.004 * 3 = 0.012 >= 0.01: released on the third push.
+        assert sent_total == pytest.approx(0.012)
+        assert f.residual[0] == pytest.approx(0.0)
+
+    def test_conservation_invariant(self, rng):
+        """sum(sent) + residual == sum(raw updates), always."""
+        f = SignificanceFilter(threshold=0.05)
+        params = rng.normal(size=32)
+        total_raw = np.zeros(32)
+        total_sent = np.zeros(32)
+        for i in range(50):
+            u = 0.01 * rng.normal(size=32)
+            total_raw += u
+            total_sent += f.apply(u, params, i).update
+        np.testing.assert_allclose(total_sent + f.residual, total_raw, atol=1e-12)
+
+    def test_suppression_counters(self, rng):
+        f = SignificanceFilter(threshold=1e9)  # suppress everything
+        f.apply(rng.normal(size=8), np.ones(8), 0)
+        assert f.total_suppressed == 8
+        assert f.total_elements == 8
+
+    def test_zero_threshold_sends_everything(self, rng):
+        f = SignificanceFilter(threshold=0.0)
+        u = rng.normal(size=8)
+        r = f.apply(u, np.ones(8), 0)
+        assert r.sent_fraction == 1.0
+
+    def test_none_params_uses_floor(self, rng):
+        f = SignificanceFilter(threshold=0.5, floor=1.0)
+        r = f.apply(np.array([0.6, 0.2]), None, 0)
+        assert r.sent_fraction == 0.5
+
+    def test_shape_change_rejected(self, rng):
+        f = SignificanceFilter()
+        f.apply(np.zeros(4), None, 0)
+        with pytest.raises(ValueError):
+            f.apply(np.zeros(5), None, 1)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SignificanceFilter(threshold=-1)
+        with pytest.raises(ValueError):
+            SignificanceFilter(floor=0)
+
+
+class TestTopKFilter:
+    def test_keeps_largest(self):
+        f = TopKFilter(fraction=0.25)
+        u = np.array([0.1, -5.0, 0.2, 0.3])
+        r = f.apply(u, None, 0)
+        np.testing.assert_array_equal(r.update, [0.0, -5.0, 0.0, 0.0])
+
+    def test_conservation(self, rng):
+        f = TopKFilter(fraction=0.2)
+        total_raw = np.zeros(40)
+        total_sent = np.zeros(40)
+        for i in range(30):
+            u = rng.normal(size=40)
+            total_raw += u
+            total_sent += f.apply(u, None, i).update
+        np.testing.assert_allclose(total_sent + f.residual, total_raw, atol=1e-10)
+
+    def test_fraction_one_is_identity(self, rng):
+        f = TopKFilter(fraction=1.0)
+        u = rng.normal(size=8)
+        r = f.apply(u, None, 0)
+        np.testing.assert_array_equal(r.update, u)
+        assert r.wire_bytes_factor == 1.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            TopKFilter(0.0)
+
+
+class TestRandomSparsifier:
+    def test_unbiased_in_expectation(self):
+        rng = derive_rng(0, "sparse")
+        f = RandomSparsifier(0.25, rng)
+        u = np.ones(20_000)
+        r = f.apply(u, None, 0)
+        assert r.update.mean() == pytest.approx(1.0, abs=0.05)
+        assert r.sent_fraction == pytest.approx(0.25, abs=0.02)
+
+    def test_p_one_identity(self, rng):
+        f = RandomSparsifier(1.0, rng)
+        u = rng.normal(size=8)
+        np.testing.assert_array_equal(f.apply(u, None, 0).update, u)
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            RandomSparsifier(0.0, rng)
+
+
+class TestWireFactor:
+    def test_sparse_encoding_break_even(self):
+        """Below 50% density the sparse wire factor applies; above it the
+        dense encoding wins and the factor caps at 1."""
+        dense_mask = np.ones(10, dtype=bool)
+        sparse_mask = np.zeros(10, dtype=bool)
+        sparse_mask[:2] = True
+        assert PushFilter._result(np.zeros(10), dense_mask).wire_bytes_factor == 1.0
+        assert PushFilter._result(np.zeros(10), sparse_mask).wire_bytes_factor == pytest.approx(0.4)
+
+    @given(frac=st.floats(min_value=0.01, max_value=1.0), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_topk_conservation_property(self, frac, seed):
+        rng = np.random.default_rng(seed)
+        f = TopKFilter(fraction=frac)
+        total_raw = np.zeros(17)
+        total_sent = np.zeros(17)
+        for i in range(10):
+            u = rng.normal(size=17)
+            total_raw += u
+            total_sent += f.apply(u, None, i).update
+        np.testing.assert_allclose(total_sent + f.residual, total_raw, atol=1e-9)

@@ -1,0 +1,100 @@
+"""Tests for synchronization metrics."""
+
+import pytest
+
+from repro.core.metrics import SyncMetrics
+
+
+class TestRecording:
+    def test_pull_counting(self):
+        m = SyncMetrics()
+        m.record_pull(immediate=True, iteration=0)
+        m.record_pull(immediate=False, iteration=1)
+        m.record_pull(immediate=False, iteration=1)
+        assert m.pulls == 3
+        assert m.immediate_pulls == 1
+        assert m.dprs == 2
+        assert m.dpr_fraction == pytest.approx(2 / 3)
+
+    def test_response_staleness_histogram(self):
+        m = SyncMetrics()
+        m.record_response(missing=0)
+        m.record_response(missing=2)
+        m.record_response(missing=2, waited=1.5)
+        assert m.staleness_hist[0] == 1
+        assert m.staleness_hist[2] == 2
+        assert m.mean_staleness() == pytest.approx(4 / 3)
+        assert m.max_staleness() == 2
+        assert m.dpr_wait_total == 1.5
+
+    def test_negative_missing_clamped(self):
+        m = SyncMetrics()
+        m.record_response(missing=-3)
+        assert m.staleness_hist[0] == 1
+
+    def test_empty_stats(self):
+        m = SyncMetrics()
+        assert m.dpr_fraction == 0.0
+        assert m.mean_staleness() == 0.0
+        assert m.max_staleness() == 0
+        assert m.mean_dpr_wait() == 0.0
+
+
+class TestSeries:
+    def test_dprs_per_100(self):
+        m = SyncMetrics()
+        for i in range(30):
+            m.record_pull(immediate=False, iteration=i)
+        assert m.dprs_per_100_iterations(300) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            m.dprs_per_100_iterations(0)
+
+    def test_dpr_series_buckets(self):
+        m = SyncMetrics()
+        for it in (0, 5, 99, 100, 250):
+            m.record_pull(immediate=False, iteration=it)
+        series = m.dpr_series(300, bucket=100)
+        assert series == [3, 1, 1]
+
+    def test_dpr_series_overflow_clamped(self):
+        m = SyncMetrics()
+        m.record_pull(immediate=False, iteration=999)
+        assert m.dpr_series(100, bucket=100) == [1]
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            SyncMetrics().dpr_series(100, bucket=0)
+
+
+class TestMerge:
+    def test_merge_adds_counters(self):
+        a, b = SyncMetrics(), SyncMetrics()
+        a.record_pull(immediate=True, iteration=0)
+        a.record_response(missing=1)
+        b.record_pull(immediate=False, iteration=2)
+        b.record_push()
+        merged = a.merge(b)
+        assert merged.pulls == 2
+        assert merged.pushes == 1
+        assert merged.dprs == 1
+        assert merged.staleness_hist[1] == 1
+        assert merged.dpr_iterations == [2]
+
+    def test_merge_all(self):
+        parts = []
+        for i in range(4):
+            m = SyncMetrics()
+            m.record_push()
+            parts.append(m)
+        assert SyncMetrics.merge_all(parts).pushes == 4
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = SyncMetrics(), SyncMetrics()
+        a.record_push()
+        a.merge(b)
+        assert b.pushes == 0
+
+    def test_summary_keys(self):
+        s = SyncMetrics().summary()
+        for key in ("pulls", "pushes", "dprs", "mean_staleness", "frontier_advances"):
+            assert key in s

@@ -1,0 +1,152 @@
+"""Tests for conv/pool layers: im2col adjointness and gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.conv import Conv2D, GlobalAvgPool2D, MaxPool2D, col2im, im2col
+from tests.test_ml_layers import numerical_grad_input, numerical_grad_param
+
+
+def naive_conv(x, W, b, stride, pad):
+    """Direct-loop reference convolution."""
+    bsz, c, h, w = x.shape
+    oc, _ic, kh, kw = W.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    out = np.zeros((bsz, oc, oh, ow))
+    for n in range(bsz):
+        for o in range(oc):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[n, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[n, o, i, j] = (patch * W[o]).sum() + b[o]
+    return out
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+    def test_col2im_is_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining property."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        for kh, stride, pad in [(3, 1, 1), (2, 2, 0), (3, 2, 1)]:
+            cols = im2col(x, kh, kh, stride, pad)
+            y = rng.normal(size=cols.shape)
+            lhs = float((cols * y).sum())
+            rhs = float((x * col2im(y, x.shape, kh, kh, stride, pad)).sum())
+            assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_invalid_geometry(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(1, 1, 2, 2)), 5, 5, 1, 0)
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("stride,pad", [(1, 1), (2, 1), (1, 0), (2, 0)])
+    def test_matches_naive(self, rng, stride, pad):
+        layer = Conv2D(3, 4, 3, rng, stride=stride, pad=pad)
+        x = rng.normal(size=(2, 3, 7, 7))
+        out = layer.forward(x)
+        ref = naive_conv(x, layer.params["W"], layer.params["b"], stride, pad)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_input_gradient(self, rng):
+        layer = Conv2D(2, 3, 3, rng, stride=1, pad=1)
+        x = rng.normal(size=(2, 2, 4, 4))
+        out = layer.forward(x)
+        dy = rng.normal(size=out.shape)
+        dx = layer.backward(dy)
+        np.testing.assert_allclose(dx, numerical_grad_input(layer, x, dy), atol=1e-5)
+
+    @pytest.mark.parametrize("key", ["W", "b"])
+    def test_param_gradients(self, rng, key):
+        layer = Conv2D(2, 2, 3, rng, stride=2, pad=1)
+        x = rng.normal(size=(2, 2, 5, 5))
+        out = layer.forward(x)
+        dy = rng.normal(size=out.shape)
+        layer.backward(dy)
+        np.testing.assert_allclose(
+            layer.grads[key], numerical_grad_param(layer, key, x, dy), atol=1e-5
+        )
+
+    def test_same_padding_default(self, rng):
+        layer = Conv2D(1, 1, 3, rng)
+        assert layer.forward(np.zeros((1, 1, 8, 8))).shape == (1, 1, 8, 8)
+
+    def test_wrong_channels_rejected(self, rng):
+        layer = Conv2D(3, 4, 3, rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 2, 8, 8)))
+
+    def test_flops_positive(self, rng):
+        assert Conv2D(3, 16, 3, rng).flops_per_sample(32, 32) > 0
+
+    def test_invalid_config(self, rng):
+        with pytest.raises(ValueError):
+            Conv2D(0, 1, 3, rng)
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_backward_routes_to_max(self, rng):
+        layer = MaxPool2D(2)
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x)
+        dy = rng.normal(size=out.shape)
+        dx = layer.backward(dy)
+        np.testing.assert_allclose(dx, numerical_grad_input(layer, x, dy), atol=1e-5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(0)
+
+
+class TestGlobalAvgPool:
+    def test_forward(self):
+        layer = GlobalAvgPool2D()
+        x = np.ones((2, 3, 4, 4)) * np.arange(3).reshape(1, 3, 1, 1)
+        np.testing.assert_allclose(layer.forward(x), [[0, 1, 2], [0, 1, 2]])
+
+    def test_gradient(self, rng):
+        layer = GlobalAvgPool2D()
+        x = rng.normal(size=(2, 3, 3, 3))
+        out = layer.forward(x)
+        dy = rng.normal(size=out.shape)
+        dx = layer.backward(dy)
+        np.testing.assert_allclose(dx, numerical_grad_input(layer, x, dy), atol=1e-6)
+
+    def test_requires_4d(self):
+        with pytest.raises(ValueError):
+            GlobalAvgPool2D().forward(np.zeros((2, 3)))
+
+
+class TestProperties:
+    @given(
+        h=st.integers(min_value=3, max_value=8),
+        kh=st.integers(min_value=1, max_value=3),
+        stride=st.integers(min_value=1, max_value=2),
+        pad=st.integers(min_value=0, max_value=1),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_adjointness_random_geometry(self, h, kh, stride, pad, seed):
+        if h + 2 * pad < kh:
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, h, h))
+        cols = im2col(x, kh, kh, stride, pad)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, kh, kh, stride, pad)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)

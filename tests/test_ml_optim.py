@@ -1,0 +1,158 @@
+"""Tests for worker-side optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.ml.optim import LARS, SGD, Adam, resolve_lr, step_decay, warmup
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert resolve_lr(0.1, 100) == 0.1
+
+    def test_step_decay(self):
+        sched = step_decay(1.0, [10, 20], factor=0.1)
+        assert sched(0) == 1.0
+        assert sched(10) == pytest.approx(0.1)
+        assert sched(25) == pytest.approx(0.01)
+
+    def test_warmup(self):
+        sched = warmup(lambda t: 1.0, warmup_iters=10)
+        assert sched(0) == pytest.approx(0.1)
+        assert sched(4) == pytest.approx(0.5)
+        assert sched(10) == 1.0
+
+    def test_warmup_of_constant(self):
+        sched = warmup(0.5, warmup_iters=2)
+        assert sched(0) == pytest.approx(0.25)
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_lr(lambda t: -1.0, 0)
+        with pytest.raises(ValueError):
+            warmup(1.0, warmup_iters=-1)
+
+
+class TestSGD:
+    def test_plain_update(self):
+        opt = SGD(lr=0.5)
+        g = np.array([2.0, -4.0])
+        np.testing.assert_allclose(opt.update(g, np.zeros(2), 0), [-1.0, 2.0])
+
+    def test_momentum_accumulates(self):
+        opt = SGD(lr=1.0, momentum=0.5)
+        g = np.ones(2)
+        u1 = opt.update(g, np.zeros(2), 0)
+        u2 = opt.update(g, np.zeros(2), 1)
+        np.testing.assert_allclose(u1, [-1.0, -1.0])
+        np.testing.assert_allclose(u2, [-1.5, -1.5])
+
+    def test_nesterov_differs(self):
+        g = np.ones(2)
+        plain = SGD(lr=1.0, momentum=0.5)
+        nest = SGD(lr=1.0, momentum=0.5, nesterov=True)
+        plain.update(g, np.zeros(2), 0)
+        nest.update(g, np.zeros(2), 0)
+        u_p = plain.update(g, np.zeros(2), 1)
+        u_n = nest.update(g, np.zeros(2), 1)
+        assert not np.allclose(u_p, u_n)
+
+    def test_weight_decay(self):
+        opt = SGD(lr=1.0, weight_decay=0.1)
+        u = opt.update(np.zeros(2), np.array([10.0, -10.0]), 0)
+        np.testing.assert_allclose(u, [-1.0, 1.0])
+
+    def test_schedule_applied(self):
+        opt = SGD(lr=step_decay(1.0, [1], 0.1))
+        g = np.ones(1)
+        assert opt.update(g, np.zeros(1), 0)[0] == pytest.approx(-1.0)
+        assert opt.update(g, np.zeros(1), 5)[0] == pytest.approx(-0.1)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(weight_decay=-0.1)
+
+
+class TestAdam:
+    def test_first_step_is_signed_lr(self):
+        opt = Adam(lr=0.01)
+        g = np.array([3.0, -7.0, 0.0])
+        u = opt.update(g, np.zeros(3), 0)
+        # Bias-corrected first step has magnitude ~lr in gradient sign.
+        np.testing.assert_allclose(u[:2], [-0.01, 0.01], rtol=1e-4)
+        assert u[2] == 0.0
+
+    def test_adapts_per_parameter(self):
+        opt = Adam(lr=0.1)
+        big_small = np.array([100.0, 0.1])
+        for t in range(20):
+            u = opt.update(big_small, np.zeros(2), t)
+        # Per-parameter normalization: similar step sizes despite the
+        # 1000x gradient-scale difference.
+        assert abs(u[0]) / abs(u[1]) < 2.0
+
+    def test_weight_decay(self):
+        opt = Adam(lr=0.1, weight_decay=0.5)
+        u = opt.update(np.zeros(1), np.array([2.0]), 0)
+        assert u[0] < 0  # decays toward zero
+
+    def test_converges_on_quadratic(self):
+        opt = Adam(lr=0.3)
+        target = np.array([1.0, -2.0, 3.0])
+        w = np.zeros(3)
+        for t in range(300):
+            w = w + opt.update(w - target, w, t)
+        np.testing.assert_allclose(w, target, atol=0.05)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(weight_decay=-1)
+
+
+class TestLARS:
+    def test_layerwise_scaling(self):
+        # Two tensors with very different weight/grad norm ratios get
+        # different local rates.
+        slices = [(0, 2), (2, 4)]
+        opt = LARS(slices, lr=1.0, momentum=0.0, weight_decay=0.0, eta=1.0)
+        params = np.array([10.0, 10.0, 0.1, 0.1])
+        grad = np.array([1.0, 1.0, 1.0, 1.0])
+        u = opt.update(grad, params, 0)
+        # local_lr = ||w||/||g|| per tensor: 10 vs 0.1
+        assert abs(u[0]) == pytest.approx(10.0, rel=1e-6)
+        assert abs(u[2]) == pytest.approx(0.1, rel=1e-6)
+
+    def test_zero_norm_tensor_safe(self):
+        opt = LARS([(0, 2)], lr=1.0, momentum=0.0, weight_decay=0.0)
+        u = opt.update(np.zeros(2), np.zeros(2), 0)
+        np.testing.assert_allclose(u, 0.0)
+
+    def test_momentum_state(self):
+        opt = LARS([(0, 2)], lr=1.0, momentum=0.5, weight_decay=0.0, eta=1.0)
+        params = np.ones(2)
+        grad = np.ones(2)
+        u1 = opt.update(grad, params, 0)
+        u2 = opt.update(grad, params, 1)
+        assert np.all(np.abs(u2) > np.abs(u1))
+
+    def test_requires_slices(self):
+        with pytest.raises(ValueError):
+            LARS([])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            LARS([(0, 1)], momentum=1.5)
+
+    def test_integrates_with_network(self, rng):
+        from repro.ml.models_zoo import mlp
+
+        net = mlp(4, [5], 3, rng)
+        opt = LARS(net.tensor_slices(), lr=0.1)
+        g = rng.normal(size=net.n_params)
+        u = opt.update(g, net.get_flat(), 0)
+        assert u.shape == (net.n_params,)
+        assert np.isfinite(u).all()

@@ -1,0 +1,157 @@
+"""Tests for the NIC/fabric network model."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.network import Message, Network, NicSpec
+
+
+def make_net(latency=0.0, bw=100.0, overhead=0.0, fabric=None):
+    eng = Engine()
+    net = Network(eng, latency_s=latency, fabric_concurrency=fabric)
+    nic = NicSpec(bandwidth_Bps=bw, overhead_s=overhead)
+    net.add_node("a", nic)
+    net.add_node("b", nic)
+    net.add_node("c", nic)
+    return eng, net
+
+
+class TestNicSpec:
+    def test_serialize_time(self):
+        nic = NicSpec(bandwidth_Bps=1000.0, overhead_s=0.5)
+        assert nic.serialize_time(2000) == pytest.approx(0.5 + 2.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            NicSpec(bandwidth_Bps=0)
+
+    def test_negative_overhead(self):
+        with pytest.raises(ValueError):
+            NicSpec(bandwidth_Bps=1.0, overhead_s=-1)
+
+
+class TestTransfer:
+    def test_uncontended_transfer_time(self):
+        eng, net = make_net(latency=1.0, bw=100.0)
+        done = []
+        net.send("a", "b", 200).subscribe(lambda m: done.append(eng.now))
+        eng.run()
+        # 2s tx serialize + 1s latency + 2s rx serialize
+        assert done == [pytest.approx(5.0)]
+
+    def test_estimate_matches_uncontended(self):
+        eng, net = make_net(latency=1.0, bw=100.0)
+        est = net.transfer_time_estimate("a", "b", 200)
+        done = []
+        net.send("a", "b", 200).subscribe(lambda m: done.append(eng.now))
+        eng.run()
+        assert done[0] == pytest.approx(est)
+
+    def test_tx_lane_serializes_sends(self):
+        eng, net = make_net(bw=100.0)
+        done = []
+        net.send("a", "b", 100).subscribe(lambda m: done.append(("b", eng.now)))
+        net.send("a", "c", 100).subscribe(lambda m: done.append(("c", eng.now)))
+        eng.run()
+        # Second transfer's tx serialization starts after the first's.
+        assert done == [("b", pytest.approx(2.0)), ("c", pytest.approx(3.0))]
+
+    def test_rx_incast_serializes(self):
+        eng, net = make_net(bw=100.0)
+        done = []
+        net.send("a", "c", 100).subscribe(lambda m: done.append(eng.now))
+        net.send("b", "c", 100).subscribe(lambda m: done.append(eng.now))
+        eng.run()
+        # Both serialize tx in parallel (different senders), then queue on
+        # c's rx lane: 1s + 1s, 1s + 2s.
+        assert done == [pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_fifo_order_preserved_per_pair(self):
+        eng, net = make_net(bw=100.0)
+        order = []
+        for i in range(5):
+            net.send("a", "b", 50, tag=str(i)).subscribe(
+                lambda m: order.append(m.tag)
+            )
+        eng.run()
+        assert order == ["0", "1", "2", "3", "4"]
+
+    def test_inbox_delivery(self):
+        eng, net = make_net()
+        net.send("a", "b", 10, payload={"k": 1})
+        eng.run()
+        inbox = net.endpoint("b").inbox
+        assert len(inbox) == 1
+        got = []
+        inbox.get().subscribe(got.append)
+        eng.run()
+        assert got[0].payload == {"k": 1}
+
+    def test_no_inbox_delivery_flag(self):
+        eng, net = make_net()
+        net.send("a", "b", 10, deliver_to_inbox=False)
+        eng.run()
+        assert len(net.endpoint("b").inbox) == 0
+
+    def test_negative_size_rejected(self):
+        eng, net = make_net()
+        with pytest.raises(ValueError):
+            net.send("a", "b", -1)
+
+    def test_unknown_node_rejected(self):
+        eng, net = make_net()
+        with pytest.raises(KeyError):
+            net.send("a", "zzz", 10)
+
+    def test_duplicate_node_rejected(self):
+        eng, net = make_net()
+        with pytest.raises(ValueError):
+            net.add_node("a", NicSpec(bandwidth_Bps=1.0))
+
+
+class TestAccounting:
+    def test_byte_and_message_counters(self):
+        eng, net = make_net()
+        net.send("a", "b", 100)
+        net.send("a", "c", 50)
+        eng.run()
+        assert net.total_bytes == 150
+        assert net.total_messages == 2
+        assert net.endpoint("a").bytes_sent == 150
+        assert net.endpoint("a").messages_sent == 2
+        assert net.endpoint("b").bytes_received == 100
+        assert net.endpoint("c").messages_received == 1
+
+    def test_delivery_hook_called(self):
+        eng, net = make_net()
+        seen = []
+        net.on_delivery(lambda m: seen.append((m.src, m.dst, m.size_bytes)))
+        net.send("a", "b", 10)
+        eng.run()
+        assert seen == [("a", "b", 10)]
+
+    def test_message_timestamps(self):
+        eng, net = make_net(latency=1.0, bw=100.0)
+        box = []
+        net.send("a", "b", 100).subscribe(box.append)
+        eng.run()
+        msg = box[0]
+        assert msg.send_time == 0.0
+        assert msg.deliver_time == pytest.approx(3.0)
+
+
+class TestFabric:
+    def test_fabric_concurrency_cap(self):
+        eng, net = make_net(bw=100.0, fabric=1)
+        done = []
+        net.send("a", "c", 100).subscribe(lambda m: done.append(eng.now))
+        net.send("b", "c", 100).subscribe(lambda m: done.append(eng.now))
+        eng.run()
+        # With one fabric slot the second transfer cannot even start tx
+        # until the first fully completes.
+        assert done[0] == pytest.approx(2.0)
+        assert done[1] == pytest.approx(4.0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            Network(Engine(), latency_s=-1.0)

@@ -1,0 +1,146 @@
+"""Protocol-level properties across runners and systems.
+
+These pin down the *claims* behind the paper's design, at the level of
+message orderings and conservation laws rather than end metrics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import blobs_task, workload_for
+from repro.core.filters import TopKFilter
+from repro.core.keyspace import ElasticSlicer
+from repro.core.models import bsp, ssp
+from repro.sim.cluster import cpu_cluster, gpu_cluster_p2
+from repro.sim.engine import Engine
+from repro.sim.network import Network, NicSpec
+from repro.sim.runner import FluentPSSimRunner, SimConfig, run_fluentps
+from repro.sim.stragglers import DeterministicCompute, TransientStragglerCompute
+
+
+class TestNetworkConservation:
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30),
+        latency=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_byte_sent_is_delivered(self, sizes, latency):
+        eng = Engine()
+        net = Network(eng, latency_s=latency)
+        nic = NicSpec(bandwidth_Bps=1e6, overhead_s=1e-6)
+        for name in ("a", "b"):
+            net.add_node(name, nic)
+        delivered = []
+        for s in sizes:
+            net.send("a", "b", s).subscribe(lambda m: delivered.append(m.size_bytes))
+        eng.run()
+        assert sorted(delivered) == sorted(sizes)
+        assert net.total_bytes == sum(sizes)
+        assert net.endpoint("b").bytes_received == sum(sizes)
+
+
+class TestOverlapProperty:
+    def test_shard_reply_precedes_other_shards_pushes(self):
+        """The defining overlap property (Figure 4b): with one straggler,
+        some pull-reply deliveries happen *before* the straggler's last
+        push of the same iteration has been delivered to its last shard —
+        i.e. a shard served its pull without waiting for the other M−1
+        shards to be updated."""
+        n, m = 3, 4
+        compute = TransientStragglerCompute(
+            n, slow_factor=4.0, period=8, duration=8, jitter_sigma=0.0
+        )
+        cfg = SimConfig(
+            cluster=gpu_cluster_p2(n, m),
+            max_iter=5,
+            sync=bsp(),
+            workload=workload_for("resnet56"),
+            batch_per_worker=256,
+            compute_model=compute,
+            seed=0,
+            slicer=ElasticSlicer(),
+        )
+        runner = FluentPSSimRunner(cfg)
+        events = []
+        runner.net.on_delivery(
+            lambda msg: events.append((msg.deliver_time, msg.tag, msg.src, msg.dst))
+        )
+        runner.run()
+        # For each iteration, find the last push delivery of the slowest
+        # worker and the first reply delivery to a fast worker.
+        push_last = max(t for t, tag, src, dst in events if tag == "push" and src == "worker2")
+        replies_before = [
+            t for t, tag, src, dst in events
+            if tag == "reply" and dst != "worker2" and t < push_last
+        ]
+        assert replies_before, "no reply overlapped the straggler's pushes"
+
+
+class TestFilterWireAccounting:
+    def test_topk_reduces_push_bytes_only(self):
+        n = 4
+
+        def cfg(factory):
+            return SimConfig(
+                cluster=cpu_cluster(n, 1), max_iter=30, sync=ssp(2),
+                task=blobs_task(n, n_train=200, n_test=60, seed=1),
+                seed=2, base_compute_time=0.4,
+                compute_model=DeterministicCompute(),
+                push_filter_factory=factory,
+            )
+
+        dense = run_fluentps(cfg(None))
+        sparse = run_fluentps(cfg(lambda: TopKFilter(0.05)))
+        assert sparse.bytes_on_wire < dense.bytes_on_wire
+        # Pull replies stay dense: the saving is bounded by the push share.
+        assert sparse.bytes_on_wire > 0.4 * dense.bytes_on_wire
+
+    def test_filtered_training_matches_unfiltered_quality(self):
+        n = 4
+
+        def final_acc(factory):
+            task = blobs_task(n, n_train=600, n_test=150, seed=3)
+            r = run_fluentps(SimConfig(
+                cluster=cpu_cluster(n, 1), max_iter=150, sync=ssp(2),
+                task=task, seed=4, base_compute_time=0.4,
+                push_filter_factory=factory,
+            ))
+            return task.eval_fn(r.final_params)
+
+        assert final_acc(lambda: TopKFilter(0.25)) > final_acc(None) - 0.1
+
+
+class TestPSLiteGrantSemantics:
+    def test_bounded_delay_grants_within_staleness(self):
+        """PS-Lite with bounded delay s: a worker's pull phase never
+        starts more than s iterations ahead of the global frontier."""
+        from repro.baselines.pslite import PSLiteSimRunner
+
+        n = 4
+        cfg = SimConfig(
+            cluster=gpu_cluster_p2(n, 2),
+            max_iter=12,
+            sync=ssp(2),
+            workload=workload_for("alexnet"),
+            batch_per_worker=64,
+            compute_model=TransientStragglerCompute(n, slow_factor=3.0, period=6,
+                                                    duration=3),
+            seed=1,
+        )
+        runner = PSLiteSimRunner(cfg)
+        grants = []
+        original = runner._grantable
+
+        def checked(progress):
+            ok = original(progress)
+            if ok:
+                grants.append((progress, runner._sched_frontier))
+            return ok
+
+        runner._grantable = checked
+        runner.run()
+        assert grants
+        for progress, frontier in grants:
+            assert progress < frontier + 2

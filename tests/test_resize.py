@@ -1,0 +1,92 @@
+"""Tests for elastic server-count resizing (FlexPS-style stage boundary)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import blobs_task
+from repro.core import (
+    ExecutionMode,
+    ParameterServerSystem,
+    VirtualClockDriver,
+    asp,
+    ssp,
+)
+from repro.core.keyspace import ElasticSlicer
+
+
+def make_system(task, n_servers=4, sync=None):
+    return ParameterServerSystem(
+        task.spec, task.init_params, 4, n_servers, sync or ssp(2),
+        ExecutionMode.LAZY, slicer=ElasticSlicer(chunk_elements=64), seed=0,
+    )
+
+
+@pytest.fixture
+def task():
+    return blobs_task(4, n_train=400, n_test=100, seed=1)
+
+
+class TestResize:
+    def test_parameters_preserved(self, task):
+        system = make_system(task)
+        VirtualClockDriver(system, task.step_fn, max_iter=30, seed=1).run()
+        before = system.current_params()
+        system.resize(2)
+        np.testing.assert_allclose(system.current_params(), before)
+        assert system.n_servers == 2
+        assert len(system.servers) == 2
+
+    def test_training_continues_after_resize(self, task):
+        system = make_system(task)
+        VirtualClockDriver(system, task.step_fn, max_iter=50, seed=1).run()
+        acc_mid = task.eval_fn(system.current_params())
+        system.resize(2)
+        VirtualClockDriver(system, task.step_fn, max_iter=80, seed=2).run()
+        acc_end = task.eval_fn(system.current_params())
+        assert acc_end > 0.4
+        assert np.isfinite(system.current_params()).all()
+        assert acc_end >= acc_mid - 0.15  # no catastrophic loss across stages
+
+    def test_grow_and_shrink(self, task):
+        system = make_system(task, n_servers=2)
+        system.resize(5)
+        assert system.n_servers == 5
+        system.scheduler.assignment.validate_partition(task.spec)
+        system.resize(3)
+        system.scheduler.assignment.validate_partition(task.spec)
+
+    def test_metrics_carried_across_stages(self, task):
+        system = make_system(task)
+        VirtualClockDriver(system, task.step_fn, max_iter=20, seed=1).run()
+        pushes_stage1 = system.merged_metrics().pushes
+        system.resize(2)
+        VirtualClockDriver(system, task.step_fn, max_iter=20, seed=2).run()
+        total = system.merged_metrics().pushes
+        assert total == pushes_stage1 + 20 * 4 * 2
+
+    def test_resize_requires_quiescence(self, task):
+        system = make_system(task, sync=ssp(1))
+        z = np.zeros(task.spec.total_elements)
+        system.s_push(0, 0, z)
+        system.s_push(0, 1, z)
+        system.s_pull(0, 1, lambda r: None)  # buffered DPR
+        with pytest.raises(RuntimeError, match="quiescence"):
+            system.resize(2)
+
+    def test_resize_rejects_model_lists(self, task):
+        system = ParameterServerSystem(
+            task.spec, task.init_params, 4, 2, [ssp(2), asp()],
+            ExecutionMode.LAZY, seed=0,
+        )
+        with pytest.raises(ValueError, match="per-server model lists"):
+            system.resize(3)
+
+    def test_invalid_count(self, task):
+        with pytest.raises(ValueError):
+            make_system(task).resize(0)
+
+    def test_moved_bytes_reported(self, task):
+        system = make_system(task)
+        moved = system.resize(2)
+        assert moved >= 0
+        assert system.scheduler.total_moved_bytes >= moved

@@ -1,0 +1,303 @@
+"""Tests for the FluentPS shard server (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import asp, bsp, drop_stragglers, dynamic_pssp, pssp, ssp
+from repro.core.server import (
+    ApplyInfo,
+    ExecutionMode,
+    ProtocolError,
+    PullReply,
+    ShardServer,
+)
+
+
+def make_server(model=None, execution=ExecutionMode.LAZY, n=3, params=None, **kw):
+    return ShardServer(
+        shard_id=0,
+        n_workers=n,
+        model=model or ssp(2),
+        execution=execution,
+        params=params,
+        **kw,
+    )
+
+
+class TestPushSemantics:
+    def test_frontier_advances_when_all_pushed(self):
+        srv = make_server(n=3)
+        for w in range(3):
+            srv.handle_push(w, 0)
+        assert srv.v_train == 1
+
+    def test_frontier_waits_for_last_worker(self):
+        srv = make_server(n=3)
+        srv.handle_push(0, 0)
+        srv.handle_push(1, 0)
+        assert srv.v_train == 0
+
+    def test_frontier_cascades(self):
+        srv = make_server(model=ssp(5), n=2)
+        # Worker 0 pushes ahead while worker 1 lags; worker 1's pushes then
+        # cascade the frontier.
+        for i in range(3):
+            srv.handle_push(0, i)
+        assert srv.v_train == 0
+        for i in range(3):
+            srv.handle_push(1, i)
+        assert srv.v_train == 3
+
+    def test_out_of_order_push_rejected(self):
+        srv = make_server()
+        srv.handle_push(0, 0)
+        with pytest.raises(ProtocolError, match="sequential"):
+            srv.handle_push(0, 2)
+
+    def test_duplicate_push_rejected(self):
+        srv = make_server()
+        srv.handle_push(0, 0)
+        with pytest.raises(ProtocolError):
+            srv.handle_push(0, 0)
+
+    def test_bad_worker_id(self):
+        srv = make_server(n=3)
+        with pytest.raises(ProtocolError):
+            srv.handle_push(3, 0)
+
+    def test_gradient_applied_mean(self):
+        params = np.zeros(4)
+        srv = make_server(n=2, params=params)
+        srv.handle_push(0, 0, grad=np.ones(4))
+        srv.handle_push(1, 0, grad=np.ones(4))
+        np.testing.assert_allclose(srv.params, np.ones(4))  # 1/2 + 1/2
+
+    def test_gradient_shape_checked(self):
+        srv = make_server(params=np.zeros(4))
+        with pytest.raises(ProtocolError, match="shape"):
+            srv.handle_push(0, 0, grad=np.ones(5))
+
+    def test_custom_apply_fn(self):
+        calls = []
+
+        def apply(params, grad, info: ApplyInfo):
+            calls.append((info.worker, info.progress))
+            params += grad
+
+        srv = make_server(params=np.zeros(2), apply_fn=apply, n=1)
+        srv.handle_push(0, 0, grad=np.ones(2))
+        assert calls == [(0, 0)]
+        np.testing.assert_array_equal(srv.params, np.ones(2))
+
+    def test_significance_tracked(self):
+        srv = make_server(params=np.full(4, 2.0), n=1)
+        srv.handle_push(0, 0, grad=np.full(4, 0.2))
+        assert srv.last_significance == pytest.approx(
+            np.linalg.norm(np.full(4, 0.2)) / np.linalg.norm(np.full(4, 2.2)), rel=1e-3
+        )
+
+
+class TestPullSemantics:
+    def test_immediate_pull_when_condition_holds(self):
+        srv = make_server(model=ssp(2), n=2)
+        replies = []
+        srv.handle_push(0, 0)
+        assert srv.handle_pull(0, 0, replies.append) is True
+        assert replies[0].progress == 0
+
+    def test_pull_before_push_rejected(self):
+        srv = make_server()
+        with pytest.raises(ProtocolError, match="before its"):
+            srv.handle_pull(0, 0, lambda r: None)
+
+    def test_delayed_pull_buffered(self):
+        srv = make_server(model=ssp(1), n=2)
+        replies = []
+        srv.handle_push(0, 0)
+        srv.handle_push(0, 1)
+        # worker 0 at progress 1, v_train 0, s=1: 1 < 0+1 false -> DPR
+        assert srv.handle_pull(0, 1, replies.append) is False
+        assert srv.buffered_pulls == 1
+        assert replies == []
+
+    def test_asp_never_delays(self):
+        srv = make_server(model=asp(), n=2)
+        replies = []
+        for i in range(20):
+            srv.handle_push(0, i)
+            assert srv.handle_pull(0, i, replies.append)
+        assert len(replies) == 20
+
+    def test_reply_fields(self):
+        srv = make_server(model=ssp(5), n=1, params=np.arange(3.0))
+        srv.handle_push(0, 0, grad=np.zeros(3))
+        replies = []
+        srv.handle_pull(0, 0, replies.append)
+        r: PullReply = replies[0]
+        assert r.worker == 0 and r.progress == 0
+        assert r.v_train == 1  # single worker: frontier advanced
+        assert r.missing == 0
+        np.testing.assert_array_equal(r.params, np.arange(3.0))
+
+    def test_snapshot_isolated_from_mutation(self):
+        srv = make_server(model=asp(), n=2, params=np.zeros(2))
+        replies = []
+        srv.handle_push(0, 0, grad=np.zeros(2))
+        srv.handle_pull(0, 0, replies.append)
+        srv.handle_push(1, 0, grad=np.full(2, 2.0))
+        np.testing.assert_array_equal(replies[0].params, np.zeros(2))
+
+    def test_no_snapshot_mode_shares_array(self):
+        srv = make_server(model=asp(), n=1, params=np.zeros(2), snapshot_params=False)
+        replies = []
+        srv.handle_push(0, 0, grad=np.zeros(2))
+        srv.handle_pull(0, 0, replies.append)
+        assert replies[0].params is srv.params
+
+
+class TestLazyExecution:
+    """The Figure 3 scenario: s=3, three workers, W2 straggles."""
+
+    def _race_ahead(self, srv):
+        replies = []
+        for w in (0, 1):
+            for i in range(3):
+                srv.handle_push(w, i)
+                srv.handle_pull(w, i, replies.append)
+            srv.handle_push(w, 3)
+        return replies
+
+    def test_lazy_waits_for_full_catchup(self):
+        srv = make_server(model=ssp(3), execution=ExecutionMode.LAZY, n=3)
+        self._race_ahead(srv)
+        replies = []
+        srv.handle_pull(0, 3, replies.append)
+        assert replies == []
+        srv.handle_push(2, 0)
+        srv.handle_push(2, 1)
+        srv.handle_push(2, 2)
+        assert replies == []  # still not caught up to progress 3
+        srv.handle_push(2, 3)
+        assert len(replies) == 1
+        assert replies[0].missing == 0  # fully updated parameters
+
+    def test_soft_releases_at_first_advance(self):
+        srv = make_server(model=ssp(3), execution=ExecutionMode.SOFT_BARRIER, n=3)
+        self._race_ahead(srv)
+        replies = []
+        srv.handle_pull(0, 3, replies.append)
+        assert replies == []
+        srv.handle_push(2, 0)
+        assert len(replies) == 1  # released at the very next advance
+        assert replies[0].missing == 3  # stale: missing W2's g1, g2, g3
+
+    def test_soft_rebuffers_count_as_new_dprs(self):
+        # BSP with a worker 3 ahead: the soft barrier re-forms repeatedly.
+        srv = make_server(model=bsp(), execution=ExecutionMode.SOFT_BARRIER, n=2)
+        for i in range(3):
+            srv.handle_push(0, i)
+        replies = []
+        srv.handle_pull(0, 2, replies.append)
+        assert srv.metrics.dprs == 1
+        srv.handle_push(1, 0)  # advance 0->1: re-check fails, re-buffer
+        assert srv.metrics.dprs == 2
+        srv.handle_push(1, 1)
+        assert srv.metrics.dprs == 3
+        assert replies == []
+        srv.handle_push(1, 2)
+        assert len(replies) == 1
+        assert srv.metrics.dprs == 3
+
+    def test_lazy_single_dpr_per_block(self):
+        srv = make_server(model=bsp(), execution=ExecutionMode.LAZY, n=2)
+        for i in range(3):
+            srv.handle_push(0, i)
+        replies = []
+        srv.handle_pull(0, 2, replies.append)
+        for i in range(3):
+            srv.handle_push(1, i)
+        assert len(replies) == 1
+        assert srv.metrics.dprs == 1
+
+
+class TestDropStragglers:
+    def test_quorum_advances_without_straggler(self):
+        srv = make_server(model=drop_stragglers(3, n_t=2), n=3)
+        srv.handle_push(0, 0)
+        srv.handle_push(1, 0)
+        assert srv.v_train == 1  # straggler dropped from the barrier
+
+    def test_straggler_still_contributes(self):
+        params = np.zeros(2)
+        srv = make_server(model=drop_stragglers(2, n_t=1), n=2, params=params)
+        srv.handle_push(0, 0, grad=np.ones(2))
+        assert srv.v_train == 1
+        srv.handle_push(1, 0, grad=np.ones(2))  # late gradient still applied
+        np.testing.assert_allclose(srv.params, np.ones(2))
+
+    def test_straggler_pull_immediate_when_behind(self):
+        srv = make_server(model=drop_stragglers(2, n_t=1), n=2)
+        for i in range(3):
+            srv.handle_push(0, i)
+        assert srv.v_train == 3
+        replies = []
+        srv.handle_push(1, 0)
+        assert srv.handle_pull(1, 0, replies.append)
+
+
+class TestPSSPServer:
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            srv = make_server(
+                model=pssp(1, 0.5), n=2, rng=np.random.default_rng(seed)
+            )
+            outcomes = []
+            for i in range(30):
+                srv.handle_push(0, i)
+                outcomes.append(srv.handle_pull(0, i, lambda r: None))
+                if srv.buffered_pulls:
+                    # unblock by letting worker 1 catch up
+                    srv.handle_push(1, srv.worker_progress[1] + 1)
+            while srv.worker_progress[1] < 29:
+                srv.handle_push(1, srv.worker_progress[1] + 1)
+            return outcomes
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_dynamic_pssp_uses_significance(self):
+        srv = make_server(
+            model=dynamic_pssp(1, 1.0), n=2, params=np.full(4, 1.0),
+            rng=np.random.default_rng(0),
+        )
+        srv.handle_push(0, 0, grad=np.full(4, 10.0))
+        assert srv.last_significance > 0.5
+
+
+class TestMetricsAccounting:
+    def test_counts(self):
+        srv = make_server(model=ssp(1), n=2)
+        srv.handle_push(0, 0)
+        srv.handle_pull(0, 0, lambda r: None)
+        srv.handle_push(0, 1)
+        srv.handle_pull(0, 1, lambda r: None)  # delayed
+        m = srv.metrics
+        assert m.pushes == 2
+        assert m.pulls == 2
+        assert m.immediate_pulls == 1
+        assert m.dprs == 1
+
+    def test_wait_time_uses_clock(self):
+        clock = {"t": 0.0}
+        srv = make_server(model=ssp(1), n=2, clock=lambda: clock["t"])
+        srv.handle_push(0, 0)
+        srv.handle_push(0, 1)
+        srv.handle_pull(0, 1, lambda r: None)
+        clock["t"] = 5.0
+        srv.handle_push(1, 0)
+        srv.handle_push(1, 1)
+        assert srv.metrics.dpr_wait_total == pytest.approx(5.0)
+
+    def test_describe(self):
+        srv = make_server()
+        assert "shard 0" in srv.describe()

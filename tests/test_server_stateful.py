@@ -1,0 +1,127 @@
+"""Stateful property tests: ShardServer under random legal histories.
+
+Hypothesis drives random interleavings of pushes and pulls from N
+workers against every synchronization model and both execution modes,
+checking Algorithm 1's invariants after each step and liveness (every
+buffered pull answered) once all workers reach a common progress.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import asp, bsp, drop_stragglers, dsps, dynamic_pssp, pssp, ssp
+from repro.core.server import ExecutionMode, ShardServer
+
+N_WORKERS = 4
+
+#: (name, factory, push quorum): the frontier may only pass iteration v
+#: once `quorum` workers have pushed it.
+MODEL_FACTORIES = [
+    ("bsp", lambda: bsp(), N_WORKERS),
+    ("asp", lambda: asp(), N_WORKERS),
+    ("ssp1", lambda: ssp(1), N_WORKERS),
+    ("ssp3", lambda: ssp(3), N_WORKERS),
+    ("dsps", lambda: dsps(s0=2, s_min=1, s_max=6, window=16), N_WORKERS),
+    ("drop", lambda: drop_stragglers(N_WORKERS, n_t=3), 3),
+    ("pssp", lambda: pssp(2, 0.5), N_WORKERS),
+    ("dpssp", lambda: dynamic_pssp(2, 0.7), N_WORKERS),
+]
+
+
+@st.composite
+def histories(draw):
+    """A random schedule: each entry picks a worker; the worker performs
+    its next protocol action (push i, then pull i, alternating)."""
+    length = draw(st.integers(min_value=4, max_value=120))
+    return [draw(st.integers(min_value=0, max_value=N_WORKERS - 1)) for _ in range(length)]
+
+
+def run_history(model_factory, execution, schedule, seed, quorum=N_WORKERS):
+    server = ShardServer(
+        0, N_WORKERS, model_factory(), execution, rng=np.random.default_rng(seed)
+    )
+    answered = [0] * N_WORKERS
+    pushed = [-1] * N_WORKERS  # last pushed iteration
+    pulled = [-1] * N_WORKERS  # last pull issued
+    waiting = [False] * N_WORKERS  # blocked in a DPR
+    prev_v_train = server.v_train
+
+    def check_invariants():
+        nonlocal prev_v_train
+        # Frontier is monotone and never passes the quorum-th pusher
+        # (the slowest worker for all-pushed models, the N_t-th for
+        # drop-stragglers).
+        assert server.v_train >= prev_v_train
+        quorum_progress = sorted(server.worker_progress, reverse=True)[quorum - 1]
+        assert server.v_train <= quorum_progress + 1
+        prev_v_train = server.v_train
+        m = server.metrics
+        assert m.immediate_pulls + m.dprs == m.pulls
+        # Every answered pull was either immediate or a released DPR.
+        assert sum(answered) <= m.pulls
+
+    for w in schedule:
+        if waiting[w]:
+            continue  # a blocked worker issues nothing (Algorithm 1 line 5)
+        if pushed[w] == pulled[w]:
+            # next action: push iteration pushed+1
+            server.handle_push(w, pushed[w] + 1)
+            pushed[w] += 1
+        else:
+            # next action: pull for the just-pushed iteration
+            target = pushed[w]
+
+            def respond(reply, w=w):
+                answered[w] += 1
+                waiting[w] = False
+                assert reply.progress == reply.progress  # well-formed
+                assert reply.missing >= 0
+
+            immediate = server.handle_pull(w, target, respond)
+            pulled[w] = target
+            if not immediate:
+                waiting[w] = True
+        check_invariants()
+
+    # Liveness: drive everyone to the max progress; all DPRs must flush.
+    top = max(pushed)
+    for w in range(N_WORKERS):
+        while pushed[w] < top:
+            if not waiting[w] and pushed[w] > pulled[w]:
+                # complete the pending pull step first
+                def respond(reply, w=w):
+                    answered[w] += 1
+                    waiting[w] = False
+
+                if not server.handle_pull(w, pushed[w], respond):
+                    waiting[w] = True
+                pulled[w] = pushed[w]
+            server.handle_push(w, pushed[w] + 1)
+            pushed[w] += 1
+            check_invariants()
+    # One final full round so every worker has pushed `top`:
+    # after that the frontier reaches top+1 and releases everything.
+    for w in range(N_WORKERS):
+        assert pushed[w] == top
+    assert server.v_train == top + 1
+    assert server.buffered_pulls == 0, (
+        f"{server.buffered_pulls} pulls left buffered under "
+        f"{server.model.name}/{execution.value}"
+    )
+    return server
+
+
+@pytest.mark.parametrize("model_name,factory,quorum", MODEL_FACTORIES)
+@pytest.mark.parametrize("execution", list(ExecutionMode))
+class TestServerStateful:
+    @given(schedule=histories(), seed=st.integers(0, 1000))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_invariants_and_liveness(self, model_name, factory, quorum, execution,
+                                     schedule, seed):
+        run_history(factory, execution, schedule, seed, quorum=quorum)

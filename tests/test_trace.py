@@ -1,0 +1,94 @@
+"""Tests for the span/counter trace recorder."""
+
+import pytest
+
+from repro.sim.trace import COMM_KINDS, Span, SpanKind, TraceRecorder
+
+
+class TestSpans:
+    def test_record_and_total(self):
+        tr = TraceRecorder()
+        tr.record_span("w0", SpanKind.COMPUTE, 0.0, 2.0)
+        tr.record_span("w0", SpanKind.COMPUTE, 3.0, 4.0)
+        tr.record_span("w0", SpanKind.PULL, 2.0, 3.0)
+        assert tr.total("w0", SpanKind.COMPUTE) == pytest.approx(3.0)
+        assert tr.count("w0", SpanKind.COMPUTE) == 2
+        assert tr.end_time == 4.0
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record_span("w", SpanKind.PUSH, 2.0, 1.0)
+
+    def test_comm_vs_compute_split(self):
+        tr = TraceRecorder()
+        tr.record_span("w0", SpanKind.COMPUTE, 0, 5)
+        tr.record_span("w0", SpanKind.PUSH, 5, 6)
+        tr.record_span("w0", SpanKind.PULL, 6, 8)
+        tr.record_span("w0", SpanKind.BLOCKED, 8, 9)
+        assert tr.compute_time() == pytest.approx(5.0)
+        assert tr.comm_time() == pytest.approx(4.0)
+        assert set(COMM_KINDS) == {SpanKind.PUSH, SpanKind.PULL, SpanKind.BLOCKED}
+
+    def test_actor_filtering(self):
+        tr = TraceRecorder()
+        tr.record_span("w0", SpanKind.COMPUTE, 0, 1)
+        tr.record_span("w1", SpanKind.COMPUTE, 0, 2)
+        tr.record_span("server0", SpanKind.SERVER_APPLY, 0, 3)
+        assert tr.compute_time(["w0"]) == pytest.approx(1.0)
+        assert tr.compute_time(["w0", "w1"]) == pytest.approx(3.0)
+        assert tr.actors() == ["server0", "w0", "w1"]
+
+    def test_breakdown(self):
+        tr = TraceRecorder()
+        tr.record_span("w0", SpanKind.COMPUTE, 0, 1)
+        b = tr.breakdown("w0")
+        assert b["compute"] == pytest.approx(1.0)
+        assert b["pull"] == 0.0
+
+    def test_mean_breakdown(self):
+        tr = TraceRecorder()
+        tr.record_span("w0", SpanKind.COMPUTE, 0, 2)
+        tr.record_span("w1", SpanKind.COMPUTE, 0, 4)
+        mb = tr.mean_breakdown(["w0", "w1"])
+        assert mb["compute"] == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            tr.mean_breakdown([])
+
+    def test_counters(self):
+        tr = TraceRecorder()
+        tr.incr("dprs")
+        tr.incr("dprs", 2)
+        assert tr.counters["dprs"] == 3
+
+    def test_span_duration(self):
+        assert Span("w", SpanKind.PULL, 1.0, 3.5).duration == pytest.approx(2.5)
+
+
+class TestLeanMode:
+    def test_totals_without_spans(self):
+        tr = TraceRecorder(keep_spans=False)
+        tr.record_span("w0", SpanKind.COMPUTE, 0, 2)
+        assert tr.total("w0", SpanKind.COMPUTE) == pytest.approx(2.0)
+        assert tr.spans == []
+        with pytest.raises(ValueError):
+            tr.render_timeline()
+
+
+class TestTimeline:
+    def test_render_contains_glyphs(self):
+        tr = TraceRecorder()
+        tr.record_span("w0", SpanKind.COMPUTE, 0, 5)
+        tr.record_span("w0", SpanKind.PULL, 5, 10)
+        out = tr.render_timeline(width=20)
+        assert "#" in out and "<" in out
+        assert "w0" in out
+        assert "legend" in out
+
+    def test_render_respects_actor_order(self):
+        tr = TraceRecorder()
+        tr.record_span("b", SpanKind.COMPUTE, 0, 1)
+        tr.record_span("a", SpanKind.COMPUTE, 0, 1)
+        out = tr.render_timeline(actors=["b", "a"], width=10)
+        lines = out.splitlines()
+        assert lines[1].startswith("b")
+        assert lines[2].startswith("a")

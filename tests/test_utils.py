@@ -1,0 +1,141 @@
+"""Tests for shared utilities: RNG streams, records, tables."""
+
+import numpy as np
+import pytest
+
+from repro.utils.records import RunRecord, SeriesRecord, merge_metrics
+from repro.utils.rng import derive_rng, spawn_rngs, stable_choice
+from repro.utils.tables import format_ratio, format_table
+
+
+class TestRng:
+    def test_same_stream_identical(self):
+        a = derive_rng(7, "worker", 3).random(5)
+        b = derive_rng(7, "worker", 3).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        a = derive_rng(7, "worker", 3).random(5)
+        b = derive_rng(7, "worker", 4).random(5)
+        c = derive_rng(8, "worker", 3).random(5)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_string_and_int_keys(self):
+        a = derive_rng(1, "compute", 0).random()
+        b = derive_rng(1, "step", 0).random()
+        assert a != b
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(3, "w", 4)
+        values = [r.random() for r in rngs]
+        assert len(set(values)) == 4
+
+    def test_stable_choice(self):
+        rng = derive_rng(0, "choice")
+        assert stable_choice(rng, [1, 2, 3]) in (1, 2, 3)
+        with pytest.raises(ValueError):
+            stable_choice(rng, [])
+
+
+class TestRecords:
+    def test_run_record_roundtrip(self):
+        r = RunRecord("a", params={"n": 4}, metrics={"acc": 0.9})
+        r2 = RunRecord.from_dict(r.to_dict())
+        assert r2.name == "a"
+        assert r2.metrics["acc"] == 0.9
+
+    def test_metric_default(self):
+        r = RunRecord("a", metrics={"x": 1.0})
+        assert r.metric("missing", default=5.0) == 5.0
+        with pytest.raises(KeyError):
+            r.metric("missing")
+
+    def test_series_append_and_final(self):
+        s = SeriesRecord("s")
+        s.append(1, 0.5)
+        s.append(2, 0.8)
+        assert len(s) == 2
+        assert s.final() == 0.8
+        assert s.best() == 0.8
+
+    def test_series_at_x_step_interpolation(self):
+        s = SeriesRecord("s", x=[10, 20, 30], y=[0.1, 0.2, 0.3])
+        assert s.at_x(25) == 0.2
+        assert s.at_x(5) == 0.1
+        assert s.at_x(100) == 0.3
+
+    def test_series_empty_errors(self):
+        s = SeriesRecord("s")
+        with pytest.raises(ValueError):
+            s.final()
+        with pytest.raises(ValueError):
+            s.at_x(1)
+
+    def test_series_roundtrip(self):
+        s = SeriesRecord("s", x=[1], y=[2], x_label="t", y_label="acc")
+        s2 = SeriesRecord.from_dict(s.to_dict())
+        assert s2.x == [1.0] and s2.y_label == "acc"
+
+    def test_merge_metrics(self):
+        rs = [RunRecord("a", metrics={"x": 1.0}), RunRecord("b", metrics={"x": 2.0})]
+        assert merge_metrics(rs, "x") == [1.0, 2.0]
+
+
+class TestAsciiPlot:
+    def _series(self):
+        return SeriesRecord("acc", x=[0, 10, 20, 30], y=[0.1, 0.4, 0.6, 0.7])
+
+    def test_renders_with_axes_and_legend(self):
+        from repro.utils.plots import ascii_plot
+
+        out = ascii_plot([self._series()], width=40, height=8, title="T")
+        assert "T" in out
+        assert "acc" in out  # legend
+        assert "o" in out  # data glyph
+        assert "0.7" in out and "0.1" in out  # y labels
+
+    def test_multiple_series_distinct_glyphs(self):
+        from repro.utils.plots import ascii_plot
+
+        other = SeriesRecord("b", x=[0, 30], y=[0.7, 0.1])
+        out = ascii_plot([self._series(), other], width=40, height=8)
+        assert "o=" in out and "x=" in out
+
+    def test_constant_series_ok(self):
+        from repro.utils.plots import ascii_plot
+
+        flat = SeriesRecord("flat", x=[0, 1], y=[0.5, 0.5])
+        assert "flat" in ascii_plot([flat], width=20, height=5)
+
+    def test_validation(self):
+        from repro.utils.plots import ascii_plot
+
+        with pytest.raises(ValueError):
+            ascii_plot([SeriesRecord("empty")])
+        with pytest.raises(ValueError):
+            ascii_plot([self._series()], width=4, height=2)
+
+
+class TestTables:
+    def test_basic_render(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")
+        assert "T" in out
+        assert "a" in out and "2.5" in out
+        assert "-" in out  # the None cell and separators
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_large_and_small_floats(self):
+        out = format_table(["v"], [[1e9], [1e-9], [0.0]])
+        assert "e+" in out and "e-" in out and "0" in out
+
+    def test_format_ratio(self):
+        assert format_ratio(new=2.0, old=4.0) == "2.00x"
+        assert format_ratio(new=0.0, old=1.0) == "inf"
