@@ -1,6 +1,5 @@
 """Table III: behavioural semantics of each model's pull/push conditions."""
 
-import math
 
 from repro.bench.tables import table3_conditions
 

@@ -4,7 +4,6 @@ At QUICK scale only the two CIFAR-10 rows run; REPRO_SCALE=paper adds the
 CIFAR-100 rows (set via the workloads argument below).
 """
 
-import os
 
 from repro.bench.tables import table4_grid
 

@@ -11,7 +11,6 @@ Demonstrates the paper's condition-aware methodology three ways:
 Run:  python examples/flexible_synchronization.py
 """
 
-import numpy as np
 
 from repro.bench.workloads import blobs_task
 from repro.core import (

@@ -33,9 +33,10 @@ from repro.bench.figures import (
     fig10_models,
     fig11_models,
 )
-from repro.bench.harness import PAPER, QUICK, Scale
+from repro.bench.harness import PAPER, QUICK, Scale, emit_observability
 from repro.bench.tables import table1_model_matrix, table3_conditions, table4_grid
 from repro.bench.theory_bench import theory_bounds
+from repro.obs import MetricsRegistry, Observability, observed
 
 EXPERIMENTS: Dict[str, Callable[[Scale], object]] = {
     "table1": lambda scale: table1_model_matrix(),
@@ -71,6 +72,12 @@ def main(argv=None) -> int:
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument("--save-dir", default=None,
                         help="directory for JSON results (default: results/)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Chrome/Perfetto trace of the last run "
+                             "(open at https://ui.perfetto.dev)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the metrics registry as JSON (default: "
+                             "<trace stem>.metrics.json when --trace-out is set)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -84,15 +91,27 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}; use --list")
 
-    for name in wanted:
-        t0 = time.time()
-        result = EXPERIMENTS[name](scale)
-        result.show()
-        try:
-            path = result.save(directory=args.save_dir)
-            print(f"[{name}: {time.time() - t0:.1f}s, saved {path}]\n")
-        except OSError:
-            print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    obs = None
+    if args.trace_out or args.metrics_out:
+        obs = Observability(MetricsRegistry("bench"))
+
+    def run_all() -> None:
+        for name in wanted:
+            t0 = time.time()
+            result = EXPERIMENTS[name](scale)
+            result.show()
+            try:
+                path = result.save(directory=args.save_dir)
+                print(f"[{name}: {time.time() - t0:.1f}s, saved {path}]\n")
+            except OSError:
+                print(f"[{name}: {time.time() - t0:.1f}s]\n")
+
+    if obs is not None:
+        with observed(obs):
+            run_all()
+        emit_observability(obs, trace_out=args.trace_out, metrics_out=args.metrics_out)
+    else:
+        run_all()
     return 0
 
 

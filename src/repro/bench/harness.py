@@ -8,6 +8,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs import Observability, default_metrics_path, dump_metrics, dump_trace
+from repro.obs.report import render_report
 from repro.utils.records import RunRecord, SeriesRecord
 from repro.utils.tables import format_table
 
@@ -135,3 +137,33 @@ class ExperimentResult:
         out = path / f"{slug}.json"
         out.write_text(json.dumps(self.to_dict(), indent=2))
         return out
+
+
+def emit_observability(
+    obs: Observability,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+) -> List[Path]:
+    """Write the observability artifacts collected during a bench run.
+
+    Exports the *last* captured run as a Perfetto trace (``trace_out``),
+    the full metrics registry as JSON (``metrics_out``, defaulting to
+    ``<trace stem>.metrics.json`` next to the trace), and prints the
+    human-readable report.  Returns the paths written.
+    """
+    written: List[Path] = []
+    run = obs.last_run
+    if trace_out:
+        if run is None:
+            raise ValueError("no run was captured; nothing to write to --trace-out")
+        dump_trace(trace_out, run.trace, run.instants, process_name=run.label)
+        written.append(Path(trace_out))
+        if metrics_out is None:
+            metrics_out = str(default_metrics_path(trace_out))
+    if metrics_out:
+        dump_metrics(metrics_out, obs.registry)
+        written.append(Path(metrics_out))
+    print(render_report(obs.registry, trace=run.trace if run else None))
+    for path in written:
+        print(f"[observability: wrote {path}]")
+    return written

@@ -33,6 +33,7 @@ from repro.core.metrics import SyncMetrics
 from repro.core.models import SyncModel
 from repro.core.scheduler import Scheduler
 from repro.core.server import ApplyInfo, ExecutionMode, PullReply, ShardServer, default_apply
+from repro.obs import Observability, current_observability
 from repro.utils.rng import derive_rng
 
 
@@ -63,6 +64,7 @@ class ParameterServerSystem:
         apply_fn: Callable[[np.ndarray, np.ndarray, ApplyInfo], None] = default_apply,
         seed: int = 0,
         snapshot_params: bool = True,
+        obs: Optional[Observability] = None,
     ):
         if init_params.shape != (model.total_elements,):
             raise ValueError(
@@ -81,6 +83,7 @@ class ParameterServerSystem:
         self._apply_fn = apply_fn
         self._seed = seed
         self._snapshot_params = snapshot_params
+        self.obs = obs or current_observability()
         self._epoch = 0  # bumped by resize; keeps server RNG streams fresh
         self._retired_metrics: List[SyncMetrics] = []
 
@@ -102,6 +105,7 @@ class ParameterServerSystem:
                 clock=self._read_clock,
                 rng=derive_rng(self._seed, "server", self._epoch, m),
                 snapshot_params=self._snapshot_params,
+                obs=self.obs,
             )
             for m in range(self.n_servers)
         ]

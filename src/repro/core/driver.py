@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.api import ParameterServerSystem, PullResult
 from repro.core.metrics import SyncMetrics
+from repro.obs import Observability, current_observability
 from repro.sim.stragglers import ComputeModel, LogNormalCompute
 from repro.sim.trace import SpanKind, TraceRecorder
 from repro.utils.records import SeriesRecord
@@ -86,6 +87,7 @@ class VirtualClockDriver:
         eval_fn: Optional[Callable[[np.ndarray], float]] = None,
         eval_every: int = 0,
         start_iteration: int = 0,
+        obs: Optional[Observability] = None,
     ):
         """``start_iteration`` continues a previous run (e.g. after
         :meth:`~repro.core.api.ParameterServerSystem.restore`): workers
@@ -105,7 +107,14 @@ class VirtualClockDriver:
         self.compute_model = compute_model or LogNormalCompute(0.2)
         self.base_compute_time = base_compute_time
         self.seed = seed
-        self.trace = TraceRecorder(keep_spans=keep_spans)
+        self.obs = obs or current_observability()
+        # Observability implies a full trace capture for export.
+        self.trace = TraceRecorder(keep_spans=keep_spans or self.obs.enabled)
+        if self.obs.enabled:
+            self.obs.registry.set_clock(lambda: self.now)
+            self.obs.begin_run(
+                f"driver-run{len(self.obs.runs)}-n{system.n_workers}", self.trace
+            )
         self.eval_fn = eval_fn
         self.eval_every = eval_every
 
@@ -193,11 +202,14 @@ class VirtualClockDriver:
                 f"deadlock: {stuck} workers never completed "
                 f"(buffered pulls: {self.system.total_buffered()})"
             )
+        metrics = self.system.merged_metrics()
+        if self.obs.enabled:
+            metrics.publish(self.obs.registry)
         return DriverResult(
             duration=self.now,
             iterations=self.max_iter,
             n_workers=self.system.n_workers,
-            metrics=self.system.merged_metrics(),
+            metrics=metrics,
             trace=self.trace,
             final_params=self.system.current_params(),
             eval_by_time=self.eval_by_time,

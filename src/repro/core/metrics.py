@@ -54,6 +54,13 @@ class SyncMetrics:
         """Count one V_train increment."""
         self.frontier_advances += 1
 
+    def record_probabilistic(self, passed: bool) -> None:
+        """Count one PSSP over-threshold coin flip (pass or pause)."""
+        if passed:
+            self.probabilistic_passes += 1
+        else:
+            self.probabilistic_pauses += 1
+
     # -- derived ----------------------------------------------------------
 
     @property
@@ -133,3 +140,16 @@ class SyncMetrics:
             "max_staleness": float(self.max_staleness()),
             "frontier_advances": float(self.frontier_advances),
         }
+
+    def publish(self, registry, **labels: object) -> None:
+        """Export the headline numbers into a metrics registry as gauges
+        (one label set per caller, e.g. ``shard=3`` or ``run=...``)."""
+        for key, value in self.summary().items():
+            registry.gauge(f"sync_{key}", f"SyncMetrics.{key}").set(value, **labels)
+        if self.probabilistic_passes or self.probabilistic_pauses:
+            registry.gauge(
+                "sync_probabilistic_passes", "PSSP over-threshold passes"
+            ).set(self.probabilistic_passes, **labels)
+            registry.gauge(
+                "sync_probabilistic_pauses", "PSSP over-threshold pauses"
+            ).set(self.probabilistic_pauses, **labels)

@@ -43,6 +43,7 @@ from repro.core.conditions import PullCondition, PushCondition, SyncView
 from repro.core.metrics import SyncMetrics
 from repro.core.models import SyncModel
 from repro.core.pssp import gradient_significance
+from repro.obs import NULL_OBS, Observability, exponential_buckets
 
 
 class ProtocolError(RuntimeError):
@@ -108,6 +109,7 @@ class ShardServer:
         rng: Optional[np.random.Generator] = None,
         snapshot_params: bool = True,
         metrics: Optional[SyncMetrics] = None,
+        obs: Optional[Observability] = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -121,6 +123,34 @@ class ShardServer:
         self.rng = rng or np.random.default_rng(0)
         self.snapshot_params = snapshot_params
         self.metrics = metrics or SyncMetrics()
+        # Observability: bound (label-resolved) handles so the hot path is
+        # one no-op method call per event under the null backend.
+        self.obs = obs or NULL_OBS
+        reg = self.obs.registry
+        self.actor = f"server{shard_id}"
+        self._c_pushes = reg.counter("ps_pushes_total", "gradient pushes applied").labels(
+            shard=shard_id
+        )
+        self._c_pulls = reg.counter("ps_pulls_total", "sPull requests handled").labels(
+            shard=shard_id
+        )
+        self._c_dprs = reg.counter(
+            "ps_dprs_total", "pulls buffered as delayed pull requests"
+        ).labels(shard=shard_id)
+        self._c_advances = reg.counter(
+            "ps_frontier_advances_total", "V_train increments"
+        ).labels(shard=shard_id)
+        self._g_frontier = reg.gauge("ps_frontier", "V_train frontier per shard").labels(
+            shard=shard_id
+        )
+        self._h_wait = reg.histogram(
+            "ps_dpr_wait_seconds", "time answered pulls spent buffered"
+        ).labels(shard=shard_id)
+        self._h_staleness = reg.histogram(
+            "ps_staleness_iters",
+            "missing iterations in answered pulls",
+            buckets=exponential_buckets(1.0, 2.0, 10),
+        ).labels(shard=shard_id)
 
         # Per-server condition instances: each server independently adjusts
         # its synchronization scheme (mutable state like DSPS's threshold
@@ -190,6 +220,7 @@ class ShardServer:
         self.version += 1
         self.count[progress] += 1
         self.metrics.record_push()
+        self._c_pushes.inc()
         self._try_advance()
 
     def _try_advance(self) -> None:
@@ -209,16 +240,31 @@ class ShardServer:
             flushed_key = self.v_train
             self.v_train += 1
             self.metrics.record_frontier_advance()
+            self._c_advances.inc()
+            self._g_frontier.set(self.v_train)
+            if self.obs.enabled:
+                self.obs.instants.record(
+                    "frontier_advance", self.clock(), actor=self.actor,
+                    v_train=self.v_train, shard=self.shard_id,
+                )
             for req in self.callbacks.pop(flushed_key, []):
                 if self.execution is ExecutionMode.LAZY:
-                    self._respond(req)
+                    self._respond(req, released=True)
                     continue
                 recheck = self._view(progress=req.progress, worker=req.worker)
-                if self.pull_con(recheck):
-                    self._respond(req)
+                if self._eval_pull(recheck):
+                    self._respond(req, released=True)
                 else:
                     self.callbacks[self.v_train].append(req)
                     self.metrics.record_pull(immediate=False, iteration=req.progress)
+                    self._c_dprs.inc()
+                    self._c_pulls.inc()
+                    if self.obs.enabled:
+                        self.obs.instants.record(
+                            "dpr_rebuffered", self.clock(), actor=self.actor,
+                            worker=req.worker, progress=req.progress,
+                            key=self.v_train, shard=self.shard_id,
+                        )
 
     # -- Algorithm 1: PullHandler --------------------------------------------
 
@@ -238,8 +284,9 @@ class ShardServer:
                 f"{self.worker_progress[worker]})"
             )
         view = self._view(progress=progress, worker=worker)
-        if self.pull_con(view):
+        if self._eval_pull(view):
             self.metrics.record_pull(immediate=True, iteration=progress)
+            self._c_pulls.inc()
             self._respond(
                 _BufferedPull(worker, progress, respond, enqueue_time=self.clock())
             )
@@ -257,7 +304,29 @@ class ShardServer:
             )
         )
         self.metrics.record_pull(immediate=False, iteration=progress)
+        self._c_pulls.inc()
+        self._c_dprs.inc()
+        if self.obs.enabled:
+            self.obs.instants.record(
+                "dpr_buffered", self.clock(), actor=self.actor,
+                worker=worker, progress=progress, key=key, shard=self.shard_id,
+            )
         return False
+
+    def _eval_pull(self, view: SyncView) -> bool:
+        """Evaluate the pull condition, accounting PSSP coin decisions."""
+        con = self.pull_con
+        flips_before = getattr(con, "coin_flips", None)
+        ok = con(view)
+        if flips_before is not None and con.coin_flips > flips_before:
+            self.metrics.record_probabilistic(passed=ok)
+            if self.obs.enabled:
+                self.obs.instants.record(
+                    "pssp_pass" if ok else "pssp_pause", self.clock(),
+                    actor=self.actor, worker=view.worker,
+                    progress=view.progress, v_train=view.v_train,
+                )
+        return ok
 
     def _buffer_key(self, progress: int) -> int:
         if self.execution is ExecutionMode.LAZY:
@@ -267,7 +336,7 @@ class ShardServer:
         # Soft barrier: re-examined at the very next frontier advance.
         return self.v_train
 
-    def _respond(self, req: _BufferedPull) -> None:
+    def _respond(self, req: _BufferedPull, released: bool = False) -> None:
         waited = self.clock() - req.enqueue_time
         missing = max(0, req.progress + 1 - self.v_train)
         reply = PullReply(
@@ -280,6 +349,14 @@ class ShardServer:
             params=self._snapshot(),
         )
         self.metrics.record_response(missing=missing, waited=waited)
+        self._h_wait.observe(waited)
+        self._h_staleness.observe(missing)
+        if released and self.obs.enabled:
+            self.obs.instants.record(
+                "dpr_released", self.clock(), actor=self.actor,
+                worker=req.worker, progress=req.progress,
+                waited=waited, missing=missing, shard=self.shard_id,
+            )
         req.respond(reply)
 
     def _snapshot(self) -> Optional[np.ndarray]:

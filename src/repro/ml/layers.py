@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

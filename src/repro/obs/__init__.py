@@ -1,0 +1,144 @@
+"""Unified observability: metrics registry, trace export, snapshots.
+
+One :class:`Observability` bundle carries everything a run records:
+
+- a label-aware :class:`~repro.obs.registry.MetricsRegistry` (counters,
+  gauges with time series, exponential-bucket histograms);
+- per-run captures — the run's ``TraceRecorder`` plus an
+  :class:`~repro.obs.export.InstantLog` of protocol point events (DPR
+  buffered/released, PSSP pass/pause, frontier advances);
+- exporters: :func:`~repro.obs.export.dump_trace` writes Chrome/Perfetto
+  trace-event JSON, :func:`~repro.obs.export.dump_metrics` the metrics,
+  and :func:`~repro.obs.report.render_report` a human-readable summary.
+
+Runners resolve the bundle as ``config.obs or current_observability()``;
+the default is the shared **disabled** bundle whose null registry and
+null instant log make every instrumentation call a no-op, so the hot
+path pays nothing unless observability was requested (e.g. via
+``python -m repro.bench --trace-out``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional
+
+from repro.obs.export import (
+    Instant,
+    InstantLog,
+    NullInstantLog,
+    default_metrics_path,
+    dump_metrics,
+    dump_trace,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    exponential_buckets,
+    global_registry,
+    null_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "InstantLog",
+    "MetricsRegistry",
+    "NullInstantLog",
+    "NullRegistry",
+    "Observability",
+    "RunCapture",
+    "current_observability",
+    "default_metrics_path",
+    "dump_metrics",
+    "dump_trace",
+    "exponential_buckets",
+    "global_registry",
+    "null_registry",
+    "observed",
+    "set_current_observability",
+]
+
+
+class RunCapture:
+    """One run's trace + instant events, labelled for export."""
+
+    def __init__(self, label: str, trace) -> None:
+        self.label = label
+        self.trace = trace
+        self.instants = InstantLog()
+
+
+class Observability:
+    """A live observability bundle: registry + per-run captures."""
+
+    enabled = True
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry("run")
+        self.runs: List[RunCapture] = []
+        self._default_instants = InstantLog()
+
+    def begin_run(self, label: str, trace) -> RunCapture:
+        """Start capturing a run; subsequent instants land in its log."""
+        cap = RunCapture(label, trace)
+        self.runs.append(cap)
+        return cap
+
+    @property
+    def instants(self) -> InstantLog:
+        """The current run's instant log (a default one before any run)."""
+        return self.runs[-1].instants if self.runs else self._default_instants
+
+    @property
+    def last_run(self) -> Optional[RunCapture]:
+        return self.runs[-1] if self.runs else None
+
+
+class _DisabledObservability(Observability):
+    """The shared no-op bundle (``enabled`` False, null backends)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.registry = null_registry()
+        self.runs = []
+        self._default_instants = NullInstantLog()
+
+    def begin_run(self, label: str, trace) -> RunCapture:
+        cap = RunCapture(label, trace)
+        cap.instants = self._default_instants
+        return cap  # not retained: nothing is being captured
+
+
+NULL_OBS = _DisabledObservability()
+
+_current: Observability = NULL_OBS
+
+
+def current_observability() -> Observability:
+    """The ambient bundle runners default to (disabled unless set)."""
+    return _current
+
+
+def set_current_observability(obs: Optional[Observability]) -> Observability:
+    """Install ``obs`` (None resets to disabled); returns the previous one."""
+    global _current
+    previous = _current
+    _current = obs if obs is not None else NULL_OBS
+    return previous
+
+
+@contextmanager
+def observed(obs: Observability):
+    """Scope ``obs`` as the ambient bundle for a ``with`` block."""
+    previous = set_current_observability(obs)
+    try:
+        yield obs
+    finally:
+        set_current_observability(previous)

@@ -1,0 +1,185 @@
+"""Chrome/Perfetto trace-event export + metrics JSON dumping.
+
+Converts :class:`~repro.sim.trace.TraceRecorder` spans into the Trace
+Event Format both ``chrome://tracing`` and https://ui.perfetto.dev load:
+one named track per worker/server actor, ``"ph": "X"`` duration events
+for spans, and ``"ph": "i"`` instant events for the protocol moments the
+paper's evaluation hinges on (DPR buffering, lazy-pull release, PSSP
+pass/pause decisions, ``V_train`` frontier advances).
+
+All simulated/wall times are seconds; the trace format wants
+microseconds, hence ``_US``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+_US = 1e6  # seconds -> trace-format microseconds
+
+
+@dataclass(frozen=True)
+class Instant:
+    """One point event on an actor's track."""
+
+    name: str
+    t: float
+    actor: str = ""
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+class InstantLog:
+    """Accumulates instant events for one run."""
+
+    def __init__(self) -> None:
+        self.events: List[Instant] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def record(self, name: str, t: float, actor: str = "", **args: object) -> None:
+        self.events.append(Instant(name, float(t), actor, args))
+
+    def by_name(self, name: str) -> List[Instant]:
+        return [e for e in self.events if e.name == name]
+
+
+class NullInstantLog(InstantLog):
+    """No-op instant log for the disabled backend."""
+
+    def record(self, name: str, t: float, actor: str = "", **args: object) -> None:
+        pass
+
+
+def trace_to_events(
+    trace,
+    instants: Iterable[Instant] = (),
+    pid: int = 1,
+    process_name: str = "",
+) -> List[Dict[str, object]]:
+    """Flatten a TraceRecorder (+ instants) into trace-event dicts.
+
+    One thread track per actor; actors are discovered from both spans and
+    instant events, so server actors that only emit instants still get a
+    named track.
+    """
+    instants = list(instants)
+    actors = sorted({s.actor for s in trace.spans} | {e.actor for e in instants if e.actor})
+    tids = {actor: i for i, actor in enumerate(actors)}
+    events: List[Dict[str, object]] = []
+    if process_name:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        )
+    for actor, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": actor},
+            }
+        )
+    for s in trace.spans:
+        args: Dict[str, object] = {"iteration": s.iteration}
+        if s.note:
+            args["note"] = s.note
+        events.append(
+            {
+                "name": s.kind.value,
+                "cat": "span",
+                "ph": "X",
+                "ts": s.t0 * _US,
+                "dur": max(0.0, s.t1 - s.t0) * _US,
+                "pid": pid,
+                "tid": tids[s.actor],
+                "args": args,
+            }
+        )
+    for e in instants:
+        events.append(
+            {
+                "name": e.name,
+                "cat": "instant",
+                "ph": "i",
+                "ts": e.t * _US,
+                # thread scope when the actor has a track, else process scope
+                "s": "t" if e.actor in tids else "p",
+                "pid": pid,
+                "tid": tids.get(e.actor, 0),
+                "args": dict(e.args),
+            }
+        )
+    return events
+
+
+def dump_trace(
+    path: Union[str, Path],
+    trace,
+    instants: Iterable[Instant] = (),
+    process_name: str = "",
+) -> Path:
+    """Write one run's trace as a Perfetto-loadable JSON file."""
+    if not getattr(trace, "keep_spans", True):
+        raise ValueError(
+            "trace was recorded with keep_spans=False; re-run with spans kept "
+            "(enabling observability forces this)"
+        )
+    path = Path(path)
+    doc = {
+        "traceEvents": trace_to_events(trace, instants, process_name=process_name),
+        "displayTimeUnit": "ms",
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def dump_metrics(path: Union[str, Path], registry) -> Path:
+    """Write a registry (counters, gauge series, histograms) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(registry.to_dict(), indent=2))
+    return path
+
+
+def default_metrics_path(trace_path: Union[str, Path]) -> Path:
+    """The metrics JSON written alongside ``--trace-out FILE``."""
+    p = Path(trace_path)
+    return p.with_name(p.stem + ".metrics.json")
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, object]:
+    """Round-trip helper (tests, notebooks): parse a dumped trace file."""
+    return json.loads(Path(path).read_text())
+
+
+def actor_tracks(doc: Dict[str, object]) -> Dict[str, int]:
+    """Map actor name -> tid from a loaded trace document."""
+    out: Dict[str, int] = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            out[ev["args"]["name"]] = ev["tid"]
+    return out
+
+
+def events_of_phase(doc: Dict[str, object], ph: str, name: Optional[str] = None):
+    """All events of one phase letter (optionally filtered by name)."""
+    return [
+        ev
+        for ev in doc.get("traceEvents", [])
+        if ev.get("ph") == ph and (name is None or ev.get("name") == name)
+    ]

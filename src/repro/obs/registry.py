@@ -1,0 +1,461 @@
+"""Label-aware metrics registry: counters, gauges, histograms.
+
+The observability substrate every runner reports into.  Three metric
+kinds cover the quantities the paper's evaluation is made of:
+
+- :class:`Counter` — monotonically increasing totals (pulls, DPRs,
+  frontier advances);
+- :class:`Gauge` — last-value-wins levels that optionally keep a time
+  series (per-shard DPR queue depth, frontier value, NIC utilization),
+  timestamped by the registry's clock (simulated or wall seconds);
+- :class:`Histogram` — exponential-bucket distributions (DPR wait time,
+  per-iteration latency, lock wait).
+
+Every metric is label-aware: ``counter.inc(shard=3)`` and
+``counter.inc(shard=4)`` maintain independent children.  Hot paths
+pre-bind labels once via ``metric.labels(shard=3)`` and then pay only a
+method call per event.
+
+Two registries matter in practice: the **process-global** registry
+(:func:`global_registry`) for process-wide totals, and a **per-run**
+registry owned by an :class:`~repro.obs.Observability` bundle.  The
+**null backend** (:func:`null_registry`) implements the same interface
+with no-ops and never stores a key, so instrumented code costs next to
+nothing when observability is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: LabelKey) -> str:
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> List[float]:
+    """``count`` upper bounds growing geometrically from ``start``."""
+    if start <= 0:
+        raise ValueError(f"start must be positive, got {start}")
+    if factor <= 1:
+        raise ValueError(f"factor must be > 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [start * factor**i for i in range(count)]
+
+
+class _Metric:
+    """Shared plumbing: name, help text, the registry's lock."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+
+    def labels(self, **labels: object) -> "_Bound":
+        """Pre-bind a label set; the returned handle has no kwargs cost."""
+        return _Bound(self, _label_key(labels))
+
+
+class _Bound:
+    """A metric child bound to one label set (hot-path handle)."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: _Metric, key: LabelKey):
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric._inc(self._key, amount)
+
+    def set(self, value: float) -> None:
+        self._metric._set(self._key, value)
+
+    def observe(self, value: float) -> None:
+        self._metric._observe(self._key, value)
+
+
+class Counter(_Metric):
+    """Monotonically increasing total, one value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        super().__init__(name, help, lock)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        self._inc(_label_key(labels), amount)
+
+    def _inc(self, key: LabelKey, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (by {amount})")
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._values.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "values": {_label_str(k): v for k, v in sorted(self._values.items())},
+        }
+
+
+class Gauge(_Metric):
+    """Last-value-wins level; optionally keeps a (t, value) series."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.Lock,
+        clock,
+        keep_series: bool = True,
+    ):
+        super().__init__(name, help, lock)
+        self._clock = clock
+        self._keep_series = keep_series
+        self._values: Dict[LabelKey, float] = {}
+        self._series: Dict[LabelKey, Tuple[List[float], List[float]]] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._set(_label_key(labels), value)
+
+    def _set(self, key: LabelKey, value: float) -> None:
+        with self._lock:
+            self._values[key] = float(value)
+            if self._keep_series:
+                ts, vs = self._series.setdefault(key, ([], []))
+                ts.append(float(self._clock()))
+                vs.append(float(value))
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self, **labels: object) -> Tuple[List[float], List[float]]:
+        """The recorded (timestamps, values) series for one label set."""
+        ts, vs = self._series.get(_label_key(labels), ([], []))
+        return list(ts), list(vs)
+
+    def label_sets(self) -> List[LabelKey]:
+        return sorted(self._values)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "help": self.help,
+            "values": {_label_str(k): v for k, v in sorted(self._values.items())},
+        }
+        if self._keep_series:
+            out["series"] = {
+                _label_str(k): {"t": list(ts), "v": list(vs)}
+                for k, (ts, vs) in sorted(self._series.items())
+            }
+        return out
+
+
+class _HistState:
+    __slots__ = ("counts", "count", "sum", "max")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * (n_buckets + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+
+class Histogram(_Metric):
+    """Bucketed distribution (upper-bound buckets, plus overflow)."""
+
+    kind = "histogram"
+
+    #: Default exponential bucketing: 100 µs .. ~419 s.
+    DEFAULT_BUCKETS = tuple(exponential_buckets(1e-4, 4.0, 12))
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.Lock,
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(name, help, lock)
+        bounds = list(buckets if buckets is not None else self.DEFAULT_BUCKETS)
+        if not bounds or sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} buckets must be strictly increasing")
+        self.buckets = bounds
+        self._states: Dict[LabelKey, _HistState] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        self._observe(_label_key(labels), value)
+
+    def _observe(self, key: LabelKey, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = self._states[key] = _HistState(len(self.buckets))
+            state.counts[idx] += 1
+            state.count += 1
+            state.sum += value
+            state.max = max(state.max, value)
+
+    def count(self, **labels: object) -> int:
+        state = self._states.get(_label_key(labels))
+        return state.count if state else 0
+
+    def sum(self, **labels: object) -> float:
+        state = self._states.get(_label_key(labels))
+        return state.sum if state else 0.0
+
+    def mean(self, **labels: object) -> float:
+        state = self._states.get(_label_key(labels))
+        return state.sum / state.count if state and state.count else 0.0
+
+    def bucket_counts(self, **labels: object) -> List[int]:
+        """Per-bucket counts (last entry is the overflow bucket)."""
+        state = self._states.get(_label_key(labels))
+        return list(state.counts) if state else [0] * (len(self.buckets) + 1)
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Upper-bound estimate of the ``q`` quantile from bucket counts."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        state = self._states.get(_label_key(labels))
+        if state is None or state.count == 0:
+            return 0.0
+        target = q * state.count
+        cum = 0
+        for i, c in enumerate(state.counts):
+            cum += c
+            if cum >= target and c:
+                return self.buckets[i] if i < len(self.buckets) else state.max
+        return state.max
+
+    def label_sets(self) -> List[LabelKey]:
+        return sorted(self._states)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "series": {
+                _label_str(k): {
+                    "counts": list(s.counts),
+                    "count": s.count,
+                    "sum": s.sum,
+                    "max": s.max,
+                }
+                for k, s in sorted(self._states.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics and one shared clock.
+
+    The clock timestamps gauge series points; runners install their own
+    (simulated seconds for the co-simulation, wall seconds for the
+    thread runner) via :meth:`set_clock`.
+    """
+
+    def __init__(self, name: str = "", keep_series: bool = True):
+        self.name = name
+        self.keep_series = keep_series
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+        self._clock = lambda: 0.0
+
+    def set_clock(self, clock) -> None:
+        self._clock = clock
+
+    def _read_clock(self) -> float:
+        return self._clock()
+
+    def _get_or_create(self, name: str, cls, factory) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(
+            name, Counter, lambda: Counter(name, help, self._lock)
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(
+            name,
+            Gauge,
+            lambda: Gauge(name, help, self._lock, self._read_clock, self.keep_series),
+        )
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, help, self._lock, buckets)
+        )
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"no metric {name!r} in registry {self.name!r}; "
+                f"registered: {self.names()}"
+            ) from None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "metrics": {n: m.to_dict() for n, m in sorted(self._metrics.items())},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Null backend: same interface, records nothing, stores no keys.
+# ---------------------------------------------------------------------------
+
+
+class _NullBound:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_BOUND = _NullBound()
+
+
+class _NullMetric:
+    """No-op counter/gauge/histogram all in one."""
+
+    __slots__ = ()
+    kind = "null"
+    name = "null"
+    help = ""
+    buckets: List[float] = []
+
+    def labels(self, **labels: object) -> _NullBound:
+        return _NULL_BOUND
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+    def value(self, **labels: object) -> float:
+        return 0.0
+
+    def total(self) -> float:
+        return 0.0
+
+    def series(self, **labels: object) -> Tuple[List[float], List[float]]:
+        return [], []
+
+    def count(self, **labels: object) -> int:
+        return 0
+
+    def sum(self, **labels: object) -> float:
+        return 0.0
+
+    def mean(self, **labels: object) -> float:
+        return 0.0
+
+    def bucket_counts(self, **labels: object) -> List[int]:
+        return []
+
+    def quantile(self, q: float, **labels: object) -> float:
+        return 0.0
+
+    def label_sets(self) -> List[LabelKey]:
+        return []
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "help": "", "values": {}}
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled backend: every lookup returns the same no-op metric."""
+
+    def __init__(self) -> None:
+        super().__init__(name="null", keep_series=False)
+
+    def counter(self, name: str, help: str = "") -> _NullMetric:  # type: ignore[override]
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> _NullMetric:  # type: ignore[override]
+        return _NULL_METRIC
+
+    def histogram(  # type: ignore[override]
+        self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def set_clock(self, clock) -> None:
+        pass
+
+    def names(self) -> List[str]:
+        return []
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": "null", "metrics": {}}
+
+
+_GLOBAL = MetricsRegistry("global")
+_NULL = NullRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry (lives for the interpreter's lifetime)."""
+    return _GLOBAL
+
+
+def null_registry() -> NullRegistry:
+    """The shared no-op registry used when observability is disabled."""
+    return _NULL

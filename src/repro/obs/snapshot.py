@@ -1,0 +1,97 @@
+"""Periodic snapshot scraping of server and network internals.
+
+The co-simulation runner installs a :class:`ServerSnapshotter` on its
+engine (via :meth:`~repro.sim.engine.Engine.call_every`, so the sampler
+never keeps a drained simulation alive) and each scrape records, in sim
+time, the live quantities the paper's mechanisms act on:
+
+- per-shard DPR queue depth, frontier value (``V_train``), update
+  version, cumulative DPR count, and the age of the oldest buffered
+  pull — the input signals any dynamic policy (DSPS/DSSP-style) needs;
+- network pressure: bytes in flight plus per-node TX/RX NIC utilization
+  (the incast bottleneck of §II-B, now visible as a series).
+
+Everything lands in gauge series keyed by ``shard``/``node`` labels, so
+a metrics dump carries one curve per shard per quantity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class ServerSnapshotter:
+    """Scrapes a set of shard servers (and optionally a network)."""
+
+    def __init__(
+        self,
+        registry,
+        servers: Sequence,
+        network=None,
+        nodes: Optional[Sequence[str]] = None,
+    ):
+        """``nodes`` limits NIC gauges to the named endpoints (typically
+        the server nodes — the incast side); default is all endpoints."""
+        self.servers = list(servers)
+        self.network = network
+        self.nodes: List[str] = (
+            list(nodes)
+            if nodes is not None
+            else (sorted(network.endpoints) if network is not None else [])
+        )
+        self.scrapes = 0
+        self._g_depth = registry.gauge(
+            "ps_dpr_queue_depth", "buffered delayed pull requests per shard"
+        )
+        self._g_frontier = registry.gauge("ps_frontier", "V_train frontier per shard")
+        self._g_version = registry.gauge("ps_version", "server update counter per shard")
+        self._g_dprs = registry.gauge("ps_dprs", "cumulative DPRs per shard")
+        self._g_age = registry.gauge(
+            "ps_buffered_pull_age_seconds", "age of the oldest buffered pull per shard"
+        )
+        self._g_inflight = registry.gauge(
+            "net_bytes_in_flight", "bytes currently on the wire"
+        )
+        self._g_net_bytes = registry.gauge("net_bytes_total", "bytes delivered so far")
+        self._g_tx = registry.gauge(
+            "nic_tx_utilization", "fraction of time the TX lane was serializing"
+        )
+        self._g_rx = registry.gauge(
+            "nic_rx_utilization", "fraction of time the RX lane was draining"
+        )
+
+    def scrape(self, now: float) -> None:
+        """Record one sample of every scraped quantity at sim time ``now``."""
+        self.scrapes += 1
+        for server in self.servers:
+            shard = server.shard_id
+            self._g_depth.set(server.buffered_pulls, shard=shard)
+            self._g_frontier.set(server.v_train, shard=shard)
+            self._g_version.set(server.version, shard=shard)
+            self._g_dprs.set(server.metrics.dprs, shard=shard)
+            self._g_age.set(oldest_buffered_age(server, now), shard=shard)
+        if self.network is not None:
+            self._g_inflight.set(self.network.bytes_in_flight)
+            self._g_net_bytes.set(self.network.total_bytes)
+            for node in self.nodes:
+                ep = self.network.endpoints[node]
+                self._g_tx.set(ep.tx_utilization(now), node=node)
+                self._g_rx.set(ep.rx_utilization(now), node=node)
+
+    def install(self, engine, interval_s: float) -> None:
+        """Scrape now and then every ``interval_s`` simulated seconds while
+        the simulation still has real (non-sampler) work pending."""
+        if interval_s <= 0:
+            raise ValueError(f"snapshot interval must be positive, got {interval_s}")
+        self.scrape(engine.now)
+        engine.call_every(interval_s, lambda: self.scrape(engine.now))
+
+
+def oldest_buffered_age(server, now: float) -> float:
+    """Seconds the oldest buffered DPR on ``server`` has waited (0 if none)."""
+    oldest = None
+    for requests in server.callbacks.values():
+        for req in requests:
+            if oldest is None or req.enqueue_time < oldest:
+                oldest = req.enqueue_time
+    return 0.0 if oldest is None else max(0.0, now - oldest)

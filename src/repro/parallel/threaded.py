@@ -8,7 +8,10 @@ DPR waits on a per-pull :class:`threading.Event` that the releasing push
 sets from whichever thread triggered the frontier advance.
 
 This runner demonstrates liveness and linearizability of the server under
-real interleavings — the co-simulation demonstrates timing.
+real interleavings — the co-simulation demonstrates timing.  When an
+:class:`~repro.obs.Observability` sink is active it also measures those
+interleavings in wall-clock time: per-worker iteration latency, lock
+acquisition wait, and time blocked in the pull.
 """
 
 from __future__ import annotations
@@ -16,14 +19,18 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.core.api import ParameterServerSystem, PullResult
 from repro.core.driver import StepContext
 from repro.core.metrics import SyncMetrics
+from repro.obs import Observability, current_observability, exponential_buckets
 from repro.utils.rng import derive_rng
+
+#: Wall-clock histogram buckets: 10us .. ~40s.
+_WALL_BUCKETS = exponential_buckets(1e-5, 4.0, 12)
 
 
 @dataclass
@@ -52,23 +59,56 @@ class ThreadedRunner:
         max_iter: int,
         seed: int = 0,
         timeout_s: float = 120.0,
+        join_grace_s: float = 5.0,
+        obs: Optional[Observability] = None,
     ):
         if max_iter < 1:
-            raise ValueError("max_iter must be >= 1")
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        if join_grace_s < 0:
+            raise ValueError(f"join_grace_s must be >= 0, got {join_grace_s}")
         self.system = system
         self.step_fn = step_fn
         self.max_iter = max_iter
         self.seed = seed
         self.timeout_s = timeout_s
+        self.join_grace_s = join_grace_s
+        self.obs = obs or current_observability()
         self._lock = threading.Lock()
         self._t0 = 0.0
-        system.set_clock(lambda: time.monotonic() - self._t0)
+        #: Last *completed* iteration per worker (-1 = none yet).
+        self._progress: List[int] = [-1] * system.n_workers
+        system.set_clock(self._wall)
+        reg = self.obs.registry
+        self._h_iter = reg.histogram(
+            "threaded_iter_seconds",
+            "Wall-clock seconds per completed worker iteration",
+            buckets=_WALL_BUCKETS,
+        )
+        self._h_lock = reg.histogram(
+            "threaded_lock_wait_seconds",
+            "Wall-clock seconds waiting to acquire the server lock",
+            buckets=_WALL_BUCKETS,
+        )
+        self._h_pull = reg.histogram(
+            "threaded_pull_block_seconds",
+            "Wall-clock seconds blocked waiting for the pull to complete",
+            buckets=_WALL_BUCKETS,
+        )
+
+    def _wall(self) -> float:
+        return time.monotonic() - self._t0
 
     def _worker_loop(self, worker: int, errors: List[BaseException]) -> None:
+        h_iter = self._h_iter.labels(worker=worker)
+        h_lock = self._h_lock.labels(worker=worker)
+        h_pull = self._h_pull.labels(worker=worker)
         try:
             params = self.system.current_params()
             rng = derive_rng(self.seed, "step", worker)
             for i in range(self.max_iter):
+                t_iter = time.monotonic()
                 update = self.step_fn(
                     StepContext(worker=worker, iteration=i, params=params, rng=rng)
                 )
@@ -79,37 +119,63 @@ class ThreadedRunner:
                     box["result"] = result
                     done.set()
 
+                t_lock = time.monotonic()
                 with self._lock:
+                    h_lock.observe(time.monotonic() - t_lock)
                     self.system.s_push(worker, i, update)
                     self.system.s_pull(worker, i, on_complete)
                 # The pull may have completed synchronously (condition held)
                 # or will be completed by another worker's push later.
+                t_pull = time.monotonic()
                 if not done.wait(self.timeout_s):
                     raise TimeoutError(
                         f"worker {worker} pull for iteration {i} timed out after "
                         f"{self.timeout_s}s (possible deadlock)"
                     )
+                h_pull.observe(time.monotonic() - t_pull)
                 params = box["result"].params
+                self._progress[worker] = i
+                h_iter.observe(time.monotonic() - t_iter)
         except BaseException as exc:  # propagate to the caller thread
             errors.append(exc)
 
     def run(self) -> ThreadedResult:
-        """Start all worker threads, join them, and aggregate results."""
+        """Start all worker threads, join them, and aggregate results.
+
+        Joining uses one shared wall-clock deadline (``timeout_s`` plus
+        ``join_grace_s``) across all threads rather than a fresh timeout
+        per join — a hung run fails after the deadline, not after
+        N x timeout.
+        """
         errors: List[BaseException] = []
         self._t0 = time.monotonic()
+        if self.obs.enabled:
+            self.obs.registry.set_clock(self._wall)
         threads = [
             threading.Thread(
-                target=self._worker_loop, args=(w, errors), name=f"fluentps-worker-{w}"
+                target=self._worker_loop,
+                args=(w, errors),
+                name=f"fluentps-worker-{w}",
+                daemon=True,
             )
             for w in range(self.system.n_workers)
         ]
         for t in threads:
             t.start()
+        deadline = time.monotonic() + self.timeout_s + self.join_grace_s
         for t in threads:
-            t.join(self.timeout_s + 5.0)
+            t.join(max(0.0, deadline - time.monotonic()))
         alive = [t.name for t in threads if t.is_alive()]
         if alive:
-            errors.append(TimeoutError(f"threads never finished: {alive}"))
+            progress = {
+                f"worker{w}": self._progress[w] for w in range(self.system.n_workers)
+            }
+            errors.append(
+                TimeoutError(
+                    f"threads never finished: {alive}; "
+                    f"last completed iteration per worker: {progress}"
+                )
+            )
         wall = time.monotonic() - self._t0
         return ThreadedResult(
             wall_time=wall,

@@ -171,6 +171,7 @@ class Engine:
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._events_processed = 0
+        self._daemon_pending = 0  # scheduled call_every ticks (see below)
 
     # -- raw callback scheduling --------------------------------------
 
@@ -186,6 +187,25 @@ class Engine:
         if when < self.now:
             raise SimulationError(f"cannot schedule into the past: {when} < {self.now}")
         self.call_in(when - self.now, fn, *args)
+
+    def call_every(self, interval: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` every ``interval`` seconds as a *daemon*: the tick
+        reschedules itself only while non-daemon events remain pending, so
+        periodic samplers (metric snapshots) never keep a drained
+        simulation alive.  The first tick fires after ``interval``."""
+        if interval <= 0:
+            raise SimulationError(f"call_every interval must be positive, got {interval}")
+
+        def tick() -> None:
+            self._daemon_pending -= 1
+            fn()
+            # Reschedule only if real work remains beyond other daemon ticks.
+            if len(self._heap) > self._daemon_pending:
+                self._daemon_pending += 1
+                self.call_in(interval, tick)
+
+        self._daemon_pending += 1
+        self.call_in(interval, tick)
 
     # -- process/waitable API ------------------------------------------
 

@@ -66,6 +66,16 @@ class Endpoint:
         self.bytes_received = 0
         self.messages_sent = 0
         self.messages_received = 0
+        self.tx_busy_s = 0.0  # cumulative time the TX lane spent serializing
+        self.rx_busy_s = 0.0  # cumulative time the RX lane spent draining
+
+    def tx_utilization(self, now: float) -> float:
+        """Fraction of elapsed sim time the TX lane was serializing."""
+        return self.tx_busy_s / now if now > 0 else 0.0
+
+    def rx_utilization(self, now: float) -> float:
+        """Fraction of elapsed sim time the RX lane was draining."""
+        return self.rx_busy_s / now if now > 0 else 0.0
 
 
 class Network:
@@ -91,6 +101,8 @@ class Network:
         )
         self.total_bytes = 0
         self.total_messages = 0
+        self.bytes_in_flight = 0  # sent but not yet delivered
+        self.messages_in_flight = 0
         self._delivery_hooks: List[Callable[[Message], None]] = []
 
     def add_node(self, node_id: str, nic: NicSpec) -> Endpoint:
@@ -128,6 +140,8 @@ class Network:
         dst_ep = self.endpoint(dst)
         msg = Message(src=src, dst=dst, size_bytes=size_bytes, tag=tag, payload=payload)
         msg.send_time = self.engine.now
+        self.bytes_in_flight += size_bytes
+        self.messages_in_flight += 1
         done = self.engine.signal(name=f"deliver:{src}->{dst}:{tag}")
         self.engine.spawn(
             self._transfer(msg, src_ep, dst_ep, done, deliver_to_inbox),
@@ -140,22 +154,28 @@ class Network:
         yield src_ep.tx.acquire()
         if self._fabric is not None:
             yield self._fabric.acquire()
-        yield Timeout(src_ep.nic.serialize_time(msg.size_bytes))
+        tx_hold = src_ep.nic.serialize_time(msg.size_bytes)
+        yield Timeout(tx_hold)
         src_ep.tx.release()
+        src_ep.tx_busy_s += tx_hold
         src_ep.bytes_sent += msg.size_bytes
         src_ep.messages_sent += 1
         # Propagation.
         yield Timeout(self.latency_s)
         # Receiver-side drain (incast point).
         yield dst_ep.rx.acquire()
-        yield Timeout(dst_ep.nic.serialize_time(msg.size_bytes))
+        rx_hold = dst_ep.nic.serialize_time(msg.size_bytes)
+        yield Timeout(rx_hold)
         dst_ep.rx.release()
         if self._fabric is not None:
             self._fabric.release()
+        dst_ep.rx_busy_s += rx_hold
         dst_ep.bytes_received += msg.size_bytes
         dst_ep.messages_received += 1
         self.total_bytes += msg.size_bytes
         self.total_messages += 1
+        self.bytes_in_flight -= msg.size_bytes
+        self.messages_in_flight -= 1
         msg.deliver_time = self.engine.now
         if deliver_to_inbox:
             dst_ep.inbox.put(msg)

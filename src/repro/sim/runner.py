@@ -34,6 +34,8 @@ from repro.core.models import SyncModel
 from repro.core.server import ExecutionMode, PullReply, ShardServer
 from repro.ml.models_zoo import Workload
 from repro.ml.training import TrainingTask
+from repro.obs import Observability, current_observability
+from repro.obs.snapshot import ServerSnapshotter
 from repro.sim.cluster import ClusterSpec
 from repro.sim.engine import Engine, Timeout
 from repro.sim.network import Message, Network
@@ -75,6 +77,10 @@ class SimConfig:
     #: Gaia significance filter): called as ``push_filter_factory()`` once
     #: per worker; shrinks push wire bytes by the filtered fraction.
     push_filter_factory: Optional[Callable[[], "PushFilter"]] = None
+    #: Observability sink; None → the ambient :func:`current_observability`.
+    obs: Optional[Observability] = None
+    #: Snapshot scrape period in sim seconds; None → half a base compute.
+    snapshot_interval_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_iter < 1:
@@ -177,7 +183,9 @@ class FluentPSSimRunner:
         self.cfg = config
         self.engine = Engine()
         self.net: Network = config.cluster.make_network(self.engine)
-        self.trace = TraceRecorder(keep_spans=config.keep_spans)
+        self.obs = config.obs or current_observability()
+        # Observability implies a full span capture for trace export.
+        self.trace = TraceRecorder(keep_spans=config.keep_spans or self.obs.enabled)
         self.spec = config.spec
         slicer = config.slicer or ElasticSlicer()
         self.layout = ShardLayout(self.spec, slicer.slice(self.spec, config.cluster.n_servers))
@@ -198,9 +206,13 @@ class FluentPSSimRunner:
                 params=shard_vectors[j] if training else None,
                 clock=lambda: self.engine.now,
                 rng=derive_rng(config.seed, "server", j),
+                obs=self.obs,
             )
             for j in range(m)
         ]
+        if self.obs.enabled:
+            self.obs.registry.set_clock(lambda: self.engine.now)
+            self.obs.begin_run(f"sim-run{len(self.obs.runs)}-n{n}x{m}", self.trace)
         self._pending: Dict[Tuple[int, int], _PendingPull] = {}
         self._filters: List[PushFilter] = [
             config.push_filter_factory() if config.push_filter_factory else NoFilter()
@@ -252,7 +264,14 @@ class FluentPSSimRunner:
             cost = self.cfg.server_op_overhead_s
             cost += (server.metrics.dprs - dprs_before) * self.cfg.dpr_overhead_s
             if cost > 0:
+                t0 = self.engine.now
                 yield Timeout(cost)
+                # Server-side apply spans are an observability feature;
+                # the plain timing path skips the per-request recording.
+                if self.obs.enabled:
+                    self.trace.record_span(
+                        f"server{m}", SpanKind.SERVER_APPLY, t0, self.engine.now
+                    )
 
     def _send_reply(self, server: int, reply: PullReply) -> None:
         self.net.send(
@@ -347,7 +366,23 @@ class FluentPSSimRunner:
             self.engine.spawn(self._server_proc(m), name=f"server{m}")
         for w in range(self.cfg.cluster.n_workers):
             self.engine.spawn(self._worker_proc(w), name=f"worker{w}")
+        snapshotter = None
+        if self.obs.enabled:
+            snapshotter = ServerSnapshotter(
+                self.obs.registry,
+                self.servers,
+                network=self.net,
+                nodes=[self.cfg.cluster.server_id(j) for j in range(self.cfg.cluster.n_servers)],
+            )
+            interval = self.cfg.snapshot_interval_s
+            if interval is None:
+                interval = (
+                    self.cfg.resolved_base_compute(self.cfg.cluster.workers[0].flops) / 2.0
+                )
+            snapshotter.install(self.engine, interval)
         self.engine.run()
+        if snapshotter is not None:
+            snapshotter.scrape(self.engine.now)
         if self._pending:
             raise RuntimeError(
                 f"simulation drained with {len(self._pending)} unanswered pulls "
@@ -356,11 +391,14 @@ class FluentPSSimRunner:
         worker_names = [f"worker{w}" for w in range(self.cfg.cluster.n_workers)]
         total_compute = self.trace.compute_time(worker_names)
         total_wall = sum(self._finish_times)
+        metrics = SyncMetrics.merge_all(s.metrics for s in self.servers)
+        if self.obs.enabled:
+            metrics.publish(self.obs.registry)
         return SimRunResult(
             duration=max(self._finish_times),
             iterations=self.cfg.max_iter,
             n_workers=self.cfg.cluster.n_workers,
-            metrics=SyncMetrics.merge_all(s.metrics for s in self.servers),
+            metrics=metrics,
             trace=self.trace,
             total_compute_time=total_compute,
             total_comm_time=max(0.0, total_wall - total_compute),

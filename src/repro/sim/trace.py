@@ -91,7 +91,7 @@ class TraceRecorder:
     def total_by_kind(self, kind: SpanKind, actors: Optional[Iterable[str]] = None) -> float:
         """Total seconds of ``kind`` across ``actors`` (all if None)."""
         if actors is None:
-            return sum(v for (a, k), v in self._totals.items() if k is kind)
+            return sum(v for (_a, k), v in self._totals.items() if k is kind)
         wanted = set(actors)
         return sum(v for (a, k), v in self._totals.items() if k is kind and a in wanted)
 
@@ -130,6 +130,8 @@ class TraceRecorder:
         '.'=blocked.  Resolution is t_max/width per character."""
         if not self.keep_spans:
             raise ValueError("timeline rendering needs keep_spans=True")
+        if width < 10:
+            raise ValueError(f"timeline width must be >= 10 columns, got {width}")
         if actors is None:
             actors = self.actors()
         t_max = t_max if t_max is not None else (self.end_time or 1.0)
@@ -153,6 +155,7 @@ class TraceRecorder:
                 for c in range(c0, min(c1, width)):
                     cells[c] = glyph[s.kind]
             rows.append(actor.ljust(label_w) + "|" + "".join(cells) + "|")
-        header = " " * label_w + f"0{'':{width - 10}}{t_max:.3g}s".rjust(0)
+        # Axis: t=0 under the first cell, t_max right-aligned to the row end.
+        header = " " * (label_w + 1) + "0" + f"{t_max:.3g}s".rjust(width - 1)
         legend = "legend: #=compute  >=push  <=pull  .=blocked/barrier  *=apply"
         return "\n".join([header] + rows + [legend])

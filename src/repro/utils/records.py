@@ -11,6 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+#: Sentinel distinguishing "no default given" from an explicit ``None``.
+_UNSET = object()
+
 
 @dataclass
 class RunRecord:
@@ -20,10 +23,21 @@ class RunRecord:
     params: Dict[str, object] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
 
-    def metric(self, key: str, default: Optional[float] = None) -> float:
-        if key not in self.metrics and default is not None:
-            return default
-        return self.metrics[key]
+    def metric(self, key: str, default: object = _UNSET) -> Optional[float]:
+        """Look up one metric.
+
+        Returns ``default`` (including an explicit ``None``) when the key
+        is absent and a default was given; otherwise a missing key raises
+        a :class:`KeyError` naming the record and the available keys.
+        """
+        if key in self.metrics:
+            return self.metrics[key]
+        if default is not _UNSET:
+            return default  # type: ignore[return-value]
+        raise KeyError(
+            f"record {self.name!r} has no metric {key!r}; "
+            f"available: {sorted(self.metrics)}"
+        )
 
     def to_dict(self) -> Dict[str, object]:
         return {"name": self.name, "params": dict(self.params), "metrics": dict(self.metrics)}

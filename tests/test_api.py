@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.api import ParameterServerSystem
-from repro.core.conditions import SyncView
-from repro.core.keyspace import ElasticSlicer
-from repro.core.models import asp, bsp, pssp, ssp
+from repro.core.models import asp, bsp, ssp
 from repro.core.server import ExecutionMode
 
 

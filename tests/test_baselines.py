@@ -11,7 +11,7 @@ from repro.baselines.sspable import (
     run_ssptable,
 )
 from repro.bench.workloads import blobs_task
-from repro.core.keyspace import ElasticSlicer, RangeKeySlicer
+from repro.core.keyspace import ElasticSlicer
 from repro.core.models import asp, bsp, ssp
 from repro.ml.models_zoo import alexnet_cifar_workload
 from repro.sim.cluster import cpu_cluster, gpu_cluster_p2

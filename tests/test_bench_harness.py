@@ -1,7 +1,6 @@
 """Tests for the experiment harness, workloads and result containers."""
 
 import json
-import os
 
 import numpy as np
 import pytest

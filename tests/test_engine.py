@@ -8,7 +8,6 @@ from repro.sim.engine import (
     AllOf,
     Engine,
     Resource,
-    Signal,
     SimulationError,
     Store,
     Timeout,
@@ -341,3 +340,32 @@ class TestDeterminism:
         eng.run()
         assert len(done) == len(holds)
         assert done[-1] == pytest.approx(sum(holds))
+
+
+class TestCallEvery:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().call_every(0.0, lambda: None)
+
+    def test_daemon_ticks_stop_with_workload(self):
+        eng = Engine()
+        ticks = []
+
+        def work():
+            yield Timeout(5.0)
+
+        eng.spawn(work())
+        eng.call_every(1.0, lambda: ticks.append(eng.now))
+        end = eng.run()
+        # the sampler never keeps the drained simulation alive
+        assert end == pytest.approx(5.0)
+        assert ticks == pytest.approx([1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_two_daemons_drain_together(self):
+        eng = Engine()
+        eng.call_every(1.0, lambda: None)
+        eng.call_every(2.0, lambda: None)
+        end = eng.run(max_events=100)
+        # with no real work both samplers die after their first tick
+        assert end <= 2.0
+        assert eng.pending_events == 0

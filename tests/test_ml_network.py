@@ -13,7 +13,6 @@ from repro.ml.models_zoo import (
     resnet_cifar_spec,
 )
 from repro.ml.network import ResidualBlock, Sequential
-from repro.utils.rng import derive_rng
 from tests.test_ml_layers import numerical_grad_input
 
 

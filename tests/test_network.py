@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.engine import Engine
-from repro.sim.network import Message, Network, NicSpec
+from repro.sim.network import Network, NicSpec
 
 
 def make_net(latency=0.0, bw=100.0, overhead=0.0, fabric=None):
@@ -155,3 +155,27 @@ class TestFabric:
     def test_invalid_latency(self):
         with pytest.raises(ValueError):
             Network(Engine(), latency_s=-1.0)
+
+
+class TestAccounting:
+    def test_bytes_in_flight_returns_to_zero(self):
+        eng, net = make_net(latency=1.0, bw=100.0)
+        net.send("a", "b", 100)
+        net.send("a", "c", 50)
+        assert net.bytes_in_flight == 150
+        assert net.messages_in_flight == 2
+        eng.run()
+        assert net.bytes_in_flight == 0
+        assert net.messages_in_flight == 0
+        assert net.total_bytes == 150
+
+    def test_nic_utilization_bounds(self):
+        eng, net = make_net(latency=1.0, bw=100.0)
+        net.send("a", "b", 100)  # 1s tx + 1s latency + 1s rx
+        eng.run()
+        a, b = net.endpoints["a"], net.endpoints["b"]
+        assert a.tx_busy_s == pytest.approx(1.0)
+        assert b.rx_busy_s == pytest.approx(1.0)
+        assert 0.0 < a.tx_utilization(eng.now) <= 1.0
+        assert a.rx_utilization(eng.now) == 0.0
+        assert a.tx_utilization(0.0) == 0.0  # no elapsed time -> 0

@@ -66,3 +66,94 @@ def test_invalid_iters(quadratic_problem):
     )
     with pytest.raises(ValueError):
         ThreadedRunner(system, make_step(), max_iter=0)
+
+
+class TestInstrumentation:
+    def test_wall_clock_histograms_per_worker(self, quadratic_problem):
+        from repro.obs import MetricsRegistry, Observability
+
+        spec, target, make_step = quadratic_problem
+        obs = Observability(MetricsRegistry("threads"))
+        system = ParameterServerSystem(
+            spec, np.zeros(spec.total_elements), 2, 2, ssp(2)
+        )
+        runner = ThreadedRunner(
+            system, make_step(), max_iter=10, timeout_s=60.0, obs=obs
+        )
+        res = runner.run()
+        assert res.ok, res.worker_errors
+        for name in (
+            "threaded_iter_seconds",
+            "threaded_lock_wait_seconds",
+            "threaded_pull_block_seconds",
+        ):
+            h = obs.registry.get(name)
+            assert h.count(worker=0) == 10, name
+            assert h.count(worker=1) == 10, name
+        assert obs.registry.get("threaded_iter_seconds").sum(worker=0) >= 0.0
+
+
+class _ImmediateSystem:
+    """Stub PS system whose pulls always answer synchronously."""
+
+    n_workers = 2
+
+    def __init__(self):
+        from repro.core.metrics import SyncMetrics
+
+        self._params = np.zeros(4)
+        self._metrics = SyncMetrics()
+
+    def set_clock(self, clock):
+        pass
+
+    def current_params(self):
+        return self._params.copy()
+
+    def s_push(self, worker, i, update):
+        pass
+
+    def s_pull(self, worker, i, on_complete):
+        from repro.core.api import PullResult
+
+        on_complete(PullResult(worker=worker, progress=i, params=self._params.copy()))
+
+    def merged_metrics(self):
+        return self._metrics
+
+
+class TestJoinDeadline:
+    def test_shared_deadline_and_progress_in_error(self):
+        import time as _time
+
+        def step(ctx):
+            if ctx.worker == 1:
+                _time.sleep(5.0)  # hang one worker past the deadline
+            return np.zeros(4)
+
+        runner = ThreadedRunner(
+            _ImmediateSystem(), step, max_iter=3, timeout_s=0.2, join_grace_s=0.2
+        )
+        t0 = _time.monotonic()
+        res = runner.run()
+        elapsed = _time.monotonic() - t0
+        assert not res.ok
+        err = res.worker_errors[-1]
+        assert isinstance(err, TimeoutError)
+        msg = str(err)
+        assert "fluentps-worker-1" in msg
+        assert "last completed iteration" in msg
+        assert "'worker0': 2" in msg  # finished all 3 iterations
+        assert "'worker1': -1" in msg  # never completed one
+        # one shared deadline, not a fresh timeout per joined thread
+        assert elapsed < 2.0
+
+    def test_invalid_params_rejected(self, quadratic_problem):
+        spec, target, make_step = quadratic_problem
+        system = ParameterServerSystem(
+            spec, np.zeros(spec.total_elements), 2, 1, bsp()
+        )
+        with pytest.raises(ValueError):
+            ThreadedRunner(system, make_step(), max_iter=1, timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ThreadedRunner(system, make_step(), max_iter=1, join_grace_s=-1.0)

@@ -4,8 +4,6 @@ These pin down the *claims* behind the paper's design, at the level of
 message orderings and conservation laws rather than end metrics.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -70,9 +68,9 @@ class TestOverlapProperty:
         runner.run()
         # For each iteration, find the last push delivery of the slowest
         # worker and the first reply delivery to a fast worker.
-        push_last = max(t for t, tag, src, dst in events if tag == "push" and src == "worker2")
+        push_last = max(t for t, tag, src, _dst in events if tag == "push" and src == "worker2")
         replies_before = [
-            t for t, tag, src, dst in events
+            t for t, tag, _src, dst in events
             if tag == "reply" and dst != "worker2" and t < push_last
         ]
         assert replies_before, "no reply overlapped the straggler's pushes"

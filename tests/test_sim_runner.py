@@ -1,15 +1,13 @@
 """Tests for the discrete-event co-simulation runner."""
 
-import numpy as np
 import pytest
 
-from repro.bench.workloads import blobs_task, workload_for
-from repro.core.keyspace import ElasticSlicer
+from repro.bench.workloads import blobs_task
 from repro.core.models import asp, bsp, drop_stragglers, pssp, ssp
 from repro.core.server import ExecutionMode
 from repro.ml.models_zoo import alexnet_cifar_workload
 from repro.sim.cluster import cpu_cluster, gpu_cluster_p2
-from repro.sim.runner import FluentPSSimRunner, SimConfig, run_fluentps
+from repro.sim.runner import SimConfig, run_fluentps
 from repro.sim.stragglers import DeterministicCompute, ExponentialTailCompute
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines.specsync import SpecSyncConfig, SpecSyncRunner, run_specsync
 from repro.bench.workloads import blobs_task
-from repro.core.models import asp, bsp, ssp
+from repro.core.models import asp
 from repro.sim.cluster import cpu_cluster
 from repro.sim.runner import SimConfig
 from repro.sim.stragglers import DeterministicCompute, HeterogeneousCompute

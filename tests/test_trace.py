@@ -92,3 +92,23 @@ class TestTimeline:
         lines = out.splitlines()
         assert lines[1].startswith("b")
         assert lines[2].startswith("a")
+
+
+class TestTimelineHeader:
+    def test_header_right_aligns_t_max(self):
+        tr = TraceRecorder()
+        tr.record_span("w0", SpanKind.COMPUTE, 0, 8.0)
+        out = tr.render_timeline(width=40)
+        header, row = out.splitlines()[0], out.splitlines()[1]
+        # rows are label + '|' + width cells + '|'; the t_max label must
+        # end at the last cell column, and '0' sits over the first cell
+        assert len(header) == len(row) - 1
+        assert header.endswith("8s")
+        label_w = row.index("|")
+        assert header[label_w + 1] == "0"
+
+    def test_narrow_width_rejected(self):
+        tr = TraceRecorder()
+        tr.record_span("w0", SpanKind.COMPUTE, 0, 1)
+        with pytest.raises(ValueError, match="width"):
+            tr.render_timeline(width=9)

@@ -139,3 +139,20 @@ class TestTables:
     def test_format_ratio(self):
         assert format_ratio(new=2.0, old=4.0) == "2.00x"
         assert format_ratio(new=0.0, old=1.0) == "inf"
+
+
+class TestMetricLookup:
+    def test_explicit_none_default_honored(self):
+        r = RunRecord("a", metrics={"x": 1.0})
+        assert r.metric("missing", default=None) is None
+        assert r.metric("x", default=None) == 1.0
+
+    def test_missing_key_error_names_record_and_keys(self):
+        r = RunRecord("arm", metrics={"acc": 0.9, "time": 1.0})
+        with pytest.raises(KeyError, match="available"):
+            r.metric("speed")
+        try:
+            r.metric("speed")
+        except KeyError as exc:
+            msg = str(exc)
+            assert "arm" in msg and "acc" in msg and "time" in msg
