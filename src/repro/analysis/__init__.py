@@ -1,0 +1,58 @@
+"""Static + dynamic analysis: protocol sanitizer and custom lint.
+
+Two mechanically-checkable layers over the paper's correctness claims:
+
+- the **protocol sanitizer** (:mod:`repro.analysis.sanitizer`) replays
+  recorded event streams — live :class:`~repro.obs.RunCapture` instants
+  or dumped Perfetto traces — through a vector-clock/happens-before
+  checker asserting ``V_train`` monotonicity, per-worker push ordering,
+  every sync model's staleness bound, lazy execution's 0-missing
+  guarantee, DPR liveness and lost-wakeup freedom;
+- the **custom lint pass** (:mod:`repro.analysis.lint`) walks the source
+  AST for repo-specific invariants: no wall clock or global RNG in
+  sim/core, single-writer discipline on ``ShardServer`` state, no float
+  equality on sim timestamps, public API docstrings.
+
+Run both with ``python -m repro.analysis``; the pytest plugin
+(:mod:`repro.analysis.pytest_plugin`) sanitizes every test run.
+"""
+
+from repro.analysis.events import (
+    PROTOCOL_EVENT_NAMES,
+    ProtocolEvent,
+    events_from_instants,
+    events_from_run,
+    events_from_trace_doc,
+    events_from_trace_file,
+)
+from repro.analysis.lint import LintIssue, lint_file, lint_paths
+from repro.analysis.sanitizer import (
+    ProtocolSanitizer,
+    ProtocolViolation,
+    SanitizerReport,
+    Violation,
+    sanitize_events,
+    sanitize_observability,
+    sanitize_run,
+)
+from repro.analysis.spans import check_trace_spans
+
+__all__ = [
+    "PROTOCOL_EVENT_NAMES",
+    "LintIssue",
+    "ProtocolEvent",
+    "ProtocolSanitizer",
+    "ProtocolViolation",
+    "SanitizerReport",
+    "Violation",
+    "check_trace_spans",
+    "events_from_instants",
+    "events_from_run",
+    "events_from_trace_doc",
+    "events_from_trace_file",
+    "lint_file",
+    "lint_paths",
+    "sanitize_events",
+    "sanitize_observability",
+    "sanitize_run",
+]

@@ -1,0 +1,154 @@
+"""CLI for the analysis layer: ``python -m repro.analysis``.
+
+Modes (default = ``--lint src --smoke``):
+
+- ``--lint PATH...`` — run the custom AST lint over the given trees;
+- ``--smoke`` — run small simulated + threaded training jobs across the
+  sync-model matrix with observability on, and sanitize every captured
+  event stream;
+- ``--check-trace FILE...`` — sanitize dumped Perfetto trace files
+  (``python -m repro.bench --trace-out`` artifacts).
+
+Exits non-zero when any lint issue or protocol violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.sanitizer import (
+    SanitizerReport,
+    sanitize_events,
+    sanitize_observability,
+)
+
+
+def run_lint(paths: List[str]) -> int:
+    issues = lint_paths(paths)
+    for issue in issues:
+        print(issue.describe())
+    print(f"lint: {len(issues)} issue(s) in {', '.join(paths)}")
+    return 1 if issues else 0
+
+
+def run_check_trace(paths: List[str]) -> int:
+    from repro.analysis.events import events_from_trace_file
+
+    failed = 0
+    for path in paths:
+        # A dumped trace holds answered protocol traffic for finished
+        # runs; liveness checks stay on (the run completed to be dumped).
+        report = sanitize_events(events_from_trace_file(path), complete=True)
+        print(f"{path}: {report.describe()}")
+        failed += 0 if report.ok else 1
+    return 1 if failed else 0
+
+
+def _smoke_matrix():
+    """(label, sync-model factory, execution) cells for the smoke run."""
+    from repro.core.models import bsp, dsps, dynamic_pssp, pssp, ssp
+    from repro.core.server import ExecutionMode
+
+    return [
+        ("bsp-lazy", bsp, ExecutionMode.LAZY),
+        ("ssp2-lazy", lambda: ssp(2), ExecutionMode.LAZY),
+        ("ssp2-soft", lambda: ssp(2), ExecutionMode.SOFT_BARRIER),
+        ("pssp-const", lambda: pssp(2, 0.5), ExecutionMode.LAZY),
+        ("pssp-dyn", lambda: dynamic_pssp(2), ExecutionMode.LAZY),
+        ("dsps-lazy", dsps, ExecutionMode.LAZY),
+    ]
+
+
+def run_smoke(iters: int = 12, n_workers: int = 3, n_servers: int = 2) -> int:
+    """Exercise every sync model on both runners, sanitizing each run."""
+    from repro.bench.workloads import blobs_task
+    from repro.core.api import ParameterServerSystem
+    from repro.core.server import ExecutionMode
+    from repro.obs import MetricsRegistry, Observability, observed
+    from repro.parallel import ThreadedRunner
+    from repro.sim.cluster import cpu_cluster
+    from repro.sim.runner import SimConfig, run_fluentps
+
+    failures = 0
+    total = SanitizerReport(n_streams=0)
+    for label, make_model, execution in _smoke_matrix():
+        obs = Observability(MetricsRegistry("smoke"))
+        with observed(obs):
+            task = blobs_task(n_workers, n_train=400, n_test=100, seed=7)
+            run_fluentps(
+                SimConfig(
+                    cluster=cpu_cluster(n_workers, n_servers),
+                    max_iter=iters,
+                    sync=make_model(),
+                    execution=execution,
+                    task=task,
+                    seed=3,
+                    base_compute_time=0.4,
+                )
+            )
+        report = sanitize_observability(obs)
+        print(f"smoke sim {label}: {report.describe()}")
+        failures += 0 if report.ok else 1
+        total.merge(report)
+
+    obs = Observability(MetricsRegistry("smoke"))
+    with observed(obs):
+        from repro.core.models import ssp
+
+        task = blobs_task(n_workers, n_train=400, n_test=100, seed=7)
+        system = ParameterServerSystem(
+            task.spec, task.init_params, n_workers, n_servers, ssp(2),
+            ExecutionMode.LAZY, seed=0,
+        )
+        result = ThreadedRunner(system, task.step_fn, max_iter=iters, seed=1).run()
+        if not result.ok:
+            print(f"smoke threaded ssp2: run failed: {result.worker_errors}")
+            failures += 1
+    report = sanitize_observability(obs)
+    print(f"smoke threaded ssp2: {report.describe()}")
+    failures += 0 if report.ok else 1
+    total.merge(report)
+
+    print(
+        f"smoke: {total.n_events} events over {total.n_streams} stream(s), "
+        f"{len(total.violations)} violation(s)"
+    )
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--lint", nargs="*", metavar="PATH",
+        help="run the custom AST lint (default path: src)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run sanitized smoke training across the sync-model matrix",
+    )
+    parser.add_argument(
+        "--check-trace", nargs="+", metavar="FILE",
+        help="sanitize dumped Perfetto trace file(s)",
+    )
+    parser.add_argument("--smoke-iters", type=int, default=12)
+    args = parser.parse_args(argv)
+
+    selected = args.lint is not None or args.smoke or args.check_trace
+    rc = 0
+    if args.lint is not None or not selected:
+        rc |= run_lint(args.lint or ["src"])
+    if args.check_trace:
+        rc |= run_check_trace(args.check_trace)
+    if args.smoke or not selected:
+        rc |= run_smoke(iters=args.smoke_iters)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,420 @@
+"""Custom AST lint: repo-specific invariants no generic linter checks.
+
+Rules
+-----
+- **ANA001** — no wall-clock reads (``time.time``/``monotonic``/
+  ``perf_counter`` and ``_ns`` variants, ``datetime.now`` family) inside
+  ``repro.sim`` or ``repro.core``: the simulation must be driven by
+  virtual time only, and core server logic must take its clock through
+  ``set_clock`` so both runners can inject theirs.
+- **ANA002** — no global RNG in ``repro.sim``/``repro.core``: no
+  ``random`` module, no ``numpy.random.<fn>`` module-level generators
+  (``default_rng``/``Generator``/``SeedSequence`` are fine).  All
+  stochastic behaviour must flow from seeded per-stream generators or
+  reproducibility is gone.
+- **ANA003** — ``ShardServer`` protocol state (``v_train``, ``count``,
+  ``worker_progress``, …) is mutated only inside its ``handle_*``
+  entry points (or helpers those transitively call), and never written
+  from outside the class.  This is the single-writer discipline the
+  sanitizer's replay relies on.
+- **ANA004** — no float ``==``/``!=`` against sim timestamps (names
+  like ``t0``/``now``/``*_time``): virtual-time comparisons must be
+  ordering-based or epsilon-tolerant.
+- **ANA005** — every public module and public class under the linted
+  tree carries a docstring.
+
+Run via ``python -m repro.analysis --lint src``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+#: Wall-clock call targets banned in sim/core (dotted-name form).
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random members that are seeded-generator constructors (allowed).
+NUMPY_RANDOM_ALLOWED = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+#: ShardServer attributes forming the replicated protocol state.
+SERVER_PROTECTED_STATE = frozenset(
+    {
+        "v_train",
+        "version",
+        "count",
+        "worker_progress",
+        "last_pull_progress",
+        "last_significance",
+        "callbacks",
+    }
+)
+
+#: Server methods that are legitimate protocol-state entry points.
+SERVER_ENTRY_POINTS = frozenset({"__init__"})
+
+#: Subset of the protected names unique enough to flag in *other*
+#: modules (``count``/``version``/``callbacks`` are too generic for a
+#: name-based cross-module check and would false-positive on unrelated
+#: classes; inside ShardServer itself the full set applies).
+SERVER_UNIQUE_STATE = frozenset(
+    {"v_train", "worker_progress", "last_pull_progress", "last_significance"}
+)
+
+#: Mutating container methods (list/dict) for the ANA003 check.
+MUTATOR_METHODS = frozenset(
+    {"append", "extend", "insert", "remove", "pop", "clear", "update",
+     "setdefault", "popitem", "sort", "reverse"}
+)
+
+#: Variable names treated as sim timestamps for ANA004.
+TIMESTAMP_NAMES = frozenset(
+    {"t", "t0", "t1", "now", "deadline", "clock", "waited"}
+)
+TIMESTAMP_SUFFIX = "_time"
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One lint finding."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Reconstruct ``a.b.c`` from an Attribute/Name chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted module/object they were imported as."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def _resolve(dotted: str, aliases: Dict[str, str]) -> str:
+    """Expand a dotted name's head through the module's import aliases."""
+    head, _, rest = dotted.partition(".")
+    base = aliases.get(head, head)
+    return f"{base}.{rest}" if rest else base
+
+
+def _is_timestamp_name(node: ast.AST) -> bool:
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return False
+    return name in TIMESTAMP_NAMES or name.endswith(TIMESTAMP_SUFFIX)
+
+
+def _is_sim_or_core(rel: Path) -> bool:
+    parts = rel.parts
+    return "sim" in parts or "core" in parts
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Runs the per-file rules (ANA001/2/4/5) over one parsed module."""
+
+    def __init__(self, rel: Path, tree: ast.Module, issues: List[LintIssue]):
+        self.rel = rel
+        self.issues = issues
+        self.aliases = _import_aliases(tree)
+        self.in_sim_or_core = _is_sim_or_core(rel)
+        self._tree = tree
+
+    def flag(self, code: str, node: ast.AST, message: str) -> None:
+        self.issues.append(
+            LintIssue(code, str(self.rel), getattr(node, "lineno", 0), message)
+        )
+
+    def run(self) -> None:
+        self._check_docstrings(self._tree)
+        self.visit(self._tree)
+
+    # -- ANA005 -----------------------------------------------------------
+
+    def _check_docstrings(self, tree: ast.Module) -> None:
+        if not self.rel.name.startswith("_") and ast.get_docstring(tree) is None:
+            self.flag("ANA005", tree, f"public module {self.rel} lacks a docstring")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                if ast.get_docstring(node) is None:
+                    self.flag(
+                        "ANA005", node, f"public class {node.name} lacks a docstring"
+                    )
+
+    # -- ANA001 + ANA002 (call sites) ------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None and self.in_sim_or_core:
+            resolved = _resolve(dotted, self.aliases)
+            if resolved in WALL_CLOCK_CALLS:
+                self.flag(
+                    "ANA001",
+                    node,
+                    f"wall-clock call {resolved}() in sim/core — use the "
+                    "injected virtual clock",
+                )
+            self._check_global_rng(node, resolved)
+        self.generic_visit(node)
+
+    def _check_global_rng(self, node: ast.Call, resolved: str) -> None:
+        if resolved.startswith("random."):
+            self.flag(
+                "ANA002",
+                node,
+                f"global RNG call {resolved}() in sim/core — use a seeded "
+                "numpy Generator",
+            )
+        elif resolved.startswith(("numpy.random.", "np.random.")):
+            member = resolved.rsplit(".", 1)[-1]
+            if member not in NUMPY_RANDOM_ALLOWED:
+                self.flag(
+                    "ANA002",
+                    node,
+                    f"global numpy RNG {resolved}() in sim/core — only the "
+                    "seeded Generator API is allowed",
+                )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.in_sim_or_core:
+            for a in node.names:
+                if a.name == "random" or a.name.startswith("random."):
+                    self.flag(
+                        "ANA002",
+                        node,
+                        "stdlib `random` imported in sim/core — use a seeded "
+                        "numpy Generator",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.in_sim_or_core and node.module == "random" and node.level == 0:
+            self.flag(
+                "ANA002",
+                node,
+                "stdlib `random` imported in sim/core — use a seeded numpy "
+                "Generator",
+            )
+        self.generic_visit(node)
+
+    # -- ANA004 -----------------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.in_sim_or_core:
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    _is_timestamp_name(left) or _is_timestamp_name(right)
+                ):
+                    # `x == None`-style identity checks are fine.
+                    if any(
+                        isinstance(side, ast.Constant) and side.value is None
+                        for side in (left, right)
+                    ):
+                        continue
+                    self.flag(
+                        "ANA004",
+                        node,
+                        "float ==/!= on a sim timestamp — compare with an "
+                        "ordering or an epsilon",
+                    )
+        self.generic_visit(node)
+
+
+# -- ANA003: single-writer discipline for ShardServer state ---------------
+
+
+def _self_call_targets(fn: ast.AST) -> Set[str]:
+    """Names of ``self.<m>()`` methods called anywhere inside ``fn``."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            out.add(node.func.attr)
+    return out
+
+
+def _protected_attr(node: ast.AST) -> Optional[ast.Attribute]:
+    """The ``<base>.<protected>`` Attribute at the root of a write target."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute) and node.attr in SERVER_PROTECTED_STATE:
+        return node
+    return None
+
+
+def _writes_protected(fn: ast.AST) -> List[ast.AST]:
+    """Statements inside ``fn`` that mutate ``self.<protected>`` state."""
+    hits: List[ast.AST] = []
+    for node in ast.walk(fn):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHODS:
+                targets = [node.func.value]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for t in targets:
+            attr = _protected_attr(t)
+            if (
+                attr is not None
+                and isinstance(attr.value, ast.Name)
+                and attr.value.id == "self"
+            ):
+                hits.append(node)
+                break
+    return hits
+
+
+def _lint_server_class(rel: Path, cls: ast.ClassDef, issues: List[LintIssue]) -> None:
+    methods = {
+        n.name: n
+        for n in cls.body
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    # Transitive closure of self-calls from the entry points.
+    allowed: Set[str] = set()
+    frontier = [
+        m for m in methods if m in SERVER_ENTRY_POINTS or m.startswith("handle_")
+    ]
+    while frontier:
+        name = frontier.pop()
+        if name in allowed:
+            continue
+        allowed.add(name)
+        fn = methods.get(name)
+        if fn is not None:
+            frontier.extend(t for t in _self_call_targets(fn) if t in methods)
+    for name, fn in methods.items():
+        if name in allowed:
+            continue
+        for hit in _writes_protected(fn):
+            issues.append(
+                LintIssue(
+                    "ANA003",
+                    str(rel),
+                    getattr(hit, "lineno", fn.lineno),
+                    f"ShardServer.{name} mutates protocol state but is not "
+                    "reachable from a handle_* entry point",
+                )
+            )
+
+
+def _lint_external_server_writes(
+    rel: Path, tree: ast.Module, issues: List[LintIssue]
+) -> None:
+    """Flag ``<obj>.<protected> = ...`` writes outside the server module."""
+    for node in ast.walk(tree):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for t in targets:
+            attr = _protected_attr(t)
+            if (
+                attr is None
+                or attr.attr not in SERVER_UNIQUE_STATE
+                or not isinstance(attr.value, (ast.Name, ast.Attribute))
+            ):
+                continue
+            base = _dotted(attr.value)
+            if base is None or base == "self" or base.startswith("self."):
+                continue
+            issues.append(
+                LintIssue(
+                    "ANA003",
+                    str(rel),
+                    getattr(node, "lineno", 0),
+                    f"external write to server protocol state `{base}.{attr.attr}` "
+                    "— go through a handle_* method",
+                )
+            )
+
+
+# -- driver ---------------------------------------------------------------
+
+
+def lint_file(path: Path, root: Path) -> List[LintIssue]:
+    """Lint one python file; ``root`` anchors the reported relative path."""
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        rel = path
+    issues: List[LintIssue] = []
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        issues.append(LintIssue("ANA000", str(rel), exc.lineno or 0, f"syntax error: {exc.msg}"))
+        return issues
+    _FileLinter(rel, tree, issues).run()
+    if path.name == "server.py" and "core" in rel.parts:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == "ShardServer":
+                _lint_server_class(rel, node, issues)
+    else:
+        _lint_external_server_writes(rel, tree, issues)
+    return issues
+
+
+def lint_paths(paths: Sequence[Union[str, Path]]) -> List[LintIssue]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    issues: List[LintIssue] = []
+    for p in paths:
+        p = Path(p)
+        root = p if p.is_dir() else p.parent
+        files: Iterable[Path] = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            issues.extend(lint_file(f, root))
+    return issues

@@ -1,0 +1,71 @@
+"""Span-stream checks for simulated traces.
+
+Complements the protocol replay with timeline-level invariants on the
+:class:`~repro.sim.trace.TraceRecorder` span list:
+
+- SP01: no negative-duration span (the recorder clips float jitter and
+  rejects real inversions at record time; this re-checks stored data,
+  catching streams built by hand or loaded from files);
+- SP02: one actor never runs two COMPUTE spans concurrently — a worker
+  computes one iteration at a time (Algorithm 1's loop is sequential);
+- SP03: per actor, COMPUTE span iteration numbers never regress.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.sanitizer import Violation
+from repro.sim.trace import SpanKind, TraceRecorder
+
+#: Tolerance for SP02 overlap: spans may share an endpoint exactly.
+_OVERLAP_EPS = 1e-12
+
+
+def check_trace_spans(trace: TraceRecorder) -> List[Violation]:
+    """Run the SP-series checks over one recorded trace."""
+    violations: List[Violation] = []
+    if not trace.keep_spans:
+        return violations
+    last_compute_end: Dict[str, float] = {}
+    last_iteration: Dict[str, int] = {}
+    # Stable sort: simultaneous spans keep recording order.
+    for span in sorted(trace.spans, key=lambda s: s.t0):
+        if span.t1 < span.t0:
+            violations.append(
+                Violation(
+                    code="SP01",
+                    message=(
+                        f"negative-duration span: {span.actor} {span.kind.value} "
+                        f"[{span.t0}, {span.t1}]"
+                    ),
+                )
+            )
+        if span.kind is not SpanKind.COMPUTE:
+            continue
+        prev_end = last_compute_end.get(span.actor)
+        if prev_end is not None and span.t0 < prev_end - _OVERLAP_EPS:
+            violations.append(
+                Violation(
+                    code="SP02",
+                    message=(
+                        f"overlapping COMPUTE spans for {span.actor}: span "
+                        f"starting at {span.t0} overlaps one ending at {prev_end}"
+                    ),
+                )
+            )
+        last_compute_end[span.actor] = max(prev_end or span.t1, span.t1)
+        if span.iteration >= 0:
+            prev_iter = last_iteration.get(span.actor, -1)
+            if span.iteration < prev_iter:
+                violations.append(
+                    Violation(
+                        code="SP03",
+                        message=(
+                            f"iteration regression for {span.actor}: COMPUTE "
+                            f"iteration {span.iteration} after {prev_iter}"
+                        ),
+                    )
+                )
+            last_iteration[span.actor] = max(prev_iter, span.iteration)
+    return violations

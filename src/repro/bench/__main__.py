@@ -78,6 +78,9 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write the metrics registry as JSON (default: "
                              "<trace stem>.metrics.json when --trace-out is set)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the repro.analysis protocol sanitizer over "
+                             "every observed run; non-zero exit on violations")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -92,7 +95,7 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiment ids: {unknown}; use --list")
 
     obs = None
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.sanitize:
         obs = Observability(MetricsRegistry("bench"))
 
     def run_all() -> None:
@@ -109,7 +112,17 @@ def main(argv=None) -> int:
     if obs is not None:
         with observed(obs):
             run_all()
-        emit_observability(obs, trace_out=args.trace_out, metrics_out=args.metrics_out)
+        if args.trace_out or args.metrics_out:
+            emit_observability(
+                obs, trace_out=args.trace_out, metrics_out=args.metrics_out
+            )
+        if args.sanitize:
+            from repro.analysis import sanitize_observability
+
+            report = sanitize_observability(obs)
+            print(report.describe())
+            if not report.ok:
+                return 1
     else:
         run_all()
     return 0

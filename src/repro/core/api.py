@@ -146,13 +146,13 @@ class ParameterServerSystem:
         """
         if not isinstance(cond, PullCondition):
             cond = PredicatePull(cond, staleness=staleness)
-        self.servers[server].pull_con = cond
+        self.servers[server].install_conditions(pull=cond)
 
     def set_cond_push(self, server: int, cond: Union[PushCondition, Callable]) -> None:
         """Install a push condition on one server (paper's SetcondPush)."""
         if not isinstance(cond, PushCondition):
             cond = PredicatePush(cond)
-        self.servers[server].push_con = cond
+        self.servers[server].install_conditions(push=cond)
 
     # -- worker-side operations -------------------------------------------------
 
@@ -254,14 +254,7 @@ class ParameterServerSystem:
         params = np.asarray(state["params"])
         shard_vectors = self.layout.scatter(params.astype(np.float64))
         for server, shard_state, vec in zip(self.servers, state["shards"], shard_vectors):
-            server.params[...] = vec
-            server.v_train = int(shard_state["v_train"])
-            server.version = int(shard_state["version"])
-            server.count.clear()
-            server.count.update({int(k): int(v) for k, v in shard_state["count"].items()})
-            server.worker_progress = list(shard_state["worker_progress"])
-            server.last_significance = float(shard_state["last_significance"])
-            server.callbacks.clear()
+            server.handle_restore(shard_state, params=vec)
 
     # -- introspection ---------------------------------------------------------
 

@@ -87,6 +87,12 @@ class SyncView:
 class PullCondition(abc.ABC):
     """Returns True when the server should answer the pull immediately."""
 
+    #: Protocol family tag carried in the server's event stream; the
+    #: ``repro.analysis`` sanitizer keys its staleness-bound checks on it
+    #: ("custom" disables the mechanical bound).  User-defined conditions
+    #: with SSP semantics may override this to opt back in.
+    kind: str = "custom"
+
     @abc.abstractmethod
     def __call__(self, view: SyncView) -> bool: ...
 
@@ -105,6 +111,12 @@ class PushCondition(abc.ABC):
     @abc.abstractmethod
     def __call__(self, view: SyncView) -> bool: ...
 
+    def quorum(self, n_workers: int) -> Optional[int]:
+        """Pushes of the frontier iteration required before an advance, or
+        None when the rule is not a simple count (custom predicates) — the
+        sanitizer then skips its frontier-overrun check."""
+        return None
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -116,6 +128,8 @@ class PushCondition(abc.ABC):
 
 class SSPPull(PullCondition):
     """progress < V_train + s.  s=0 ⇒ BSP, s=∞ ⇒ ASP."""
+
+    kind = "ssp"
 
     def __init__(self, s: float):
         if s < 0:
@@ -155,6 +169,8 @@ class PSSPPull(PullCondition):
     above it, pause only with probability P (Table III's
     ``progress < V_train + s or rand(0,1) > P``)."""
 
+    kind = "pssp"
+
     def __init__(self, s: float, prob: ProbabilityModel):
         if s < 0:
             raise ValueError(f"staleness threshold must be >= 0, got {s}")
@@ -190,6 +206,8 @@ class DSPSPull(PullCondition):
     are rare (keep parameters fresh).  The server calls
     :meth:`observe` with each pull outcome.
     """
+
+    kind = "dsps"
 
     def __init__(
         self,
@@ -255,6 +273,9 @@ class AllPushedPush(PushCondition):
     def __call__(self, view: SyncView) -> bool:
         return view.pushed(view.v_train) >= view.n_workers
 
+    def quorum(self, n_workers: int) -> Optional[int]:
+        return n_workers
+
     def describe(self) -> str:
         return "Count[V_train] == N"
 
@@ -271,6 +292,9 @@ class QuorumPush(PushCondition):
 
     def __call__(self, view: SyncView) -> bool:
         return view.pushed(view.v_train) >= self.n_t
+
+    def quorum(self, n_workers: int) -> Optional[int]:
+        return self.n_t
 
     def describe(self) -> str:
         return f"Count[V_train] == N_t ({self.n_t})"

@@ -50,6 +50,13 @@ class ProbabilityModel(abc.ABC):
     def probability(self, s: float, gap: int, view: Optional[SignificanceView] = None) -> float:
         """Return P ∈ [0, 1]: probability of pausing an over-threshold pull."""
 
+    def constant_c(self) -> Optional[float]:
+        """The constant pause probability c when this model has one, else
+        None.  Carried in the server's ``server_config`` protocol event so
+        trace consumers can derive the effective bound s' = s + 1/c − 1
+        (paper §III-E1) for PSSP-const streams."""
+        return None
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -68,6 +75,9 @@ class ConstantProbability(ProbabilityModel):
     def probability(self, s, gap, view=None):
         if gap < s:
             return 0.0
+        return self.c
+
+    def constant_c(self) -> Optional[float]:
         return self.c
 
     def describe(self) -> str:

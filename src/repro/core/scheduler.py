@@ -17,6 +17,8 @@ from repro.core.keyspace import Assignment, ElasticSlicer, ModelSpec, Slicer
 
 @dataclass
 class ServerRecord:
+    """Liveness bookkeeping for one registered shard server."""
+
     server_id: int
     last_heartbeat: float = 0.0
     alive: bool = True

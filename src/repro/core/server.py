@@ -33,9 +33,11 @@ Progress conventions (see also :mod:`repro.core.conditions`):
 from __future__ import annotations
 
 import enum
+import itertools
+import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +50,46 @@ from repro.obs import NULL_OBS, Observability, exponential_buckets
 
 class ProtocolError(RuntimeError):
     """A worker violated the sPush/sPull protocol (e.g. out-of-order push)."""
+
+
+#: Distinguishes server incarnations in one process: ``resize`` builds new
+#: servers that reuse shard ids, so protocol event streams are keyed by a
+#: unique ``uid`` rather than by shard id.
+_SERVER_UIDS = itertools.count()
+
+
+def pull_condition_kind(con: PullCondition) -> str:
+    """Classify a pull condition for the protocol event stream.
+
+    The sanitizer (:mod:`repro.analysis`) keys its staleness-bound checks
+    on this: ``ssp`` enforces a hard bound, ``pssp`` exempts coin-passed
+    answers, ``dsps`` uses the per-event threshold, ``custom`` skips
+    bound checks entirely.  Conditions self-classify via their ``kind``
+    attribute (:class:`~repro.core.conditions.PullCondition`).
+    """
+    return getattr(con, "kind", "custom")
+
+
+def push_condition_quorum(con: PushCondition, n_workers: int) -> Optional[int]:
+    """How many frontier-iteration pushes a frontier advance needs, or
+    ``None`` when the push condition is custom (no mechanical bound)."""
+    quorum = getattr(con, "quorum", None)
+    return quorum(n_workers) if callable(quorum) else None
+
+
+def pull_condition_pssp_c(con: PullCondition) -> Optional[float]:
+    """The constant PSSP pause probability c, when the pull condition is a
+    PSSP one driven by a constant-probability model; ``None`` otherwise.
+    Carried in ``server_config`` so trace consumers can derive the
+    effective bound s' = s + 1/c − 1 (paper §III-E1)."""
+    prob = getattr(con, "prob", None)
+    constant_c = getattr(prob, "constant_c", None)
+    return constant_c() if callable(constant_c) else None
+
+
+def _staleness_arg(s: float) -> Optional[float]:
+    """JSON-safe staleness: ``None`` encodes ASP's unbounded threshold."""
+    return None if math.isinf(s) else float(s)
 
 
 class ExecutionMode(enum.Enum):
@@ -163,7 +205,12 @@ class ShardServer:
         self.count: Dict[int, int] = defaultdict(int)
         self.callbacks: Dict[int, List[_BufferedPull]] = defaultdict(list)
         self.worker_progress: List[int] = [-1] * n_workers  # last pushed iteration
+        self.last_pull_progress: List[int] = [-1] * n_workers  # last accepted pull
         self.last_significance = 0.0
+        # Protocol event stream (repro.analysis): unique incarnation id and
+        # a lazily-emitted config event so the sanitizer can replay runs.
+        self.uid = next(_SERVER_UIDS)
+        self._config_log: Optional[object] = None
 
     # -- views ------------------------------------------------------------
 
@@ -185,6 +232,48 @@ class ShardServer:
     def buffered_pulls(self) -> int:
         return sum(len(v) for v in self.callbacks.values())
 
+    # -- protocol event stream (consumed by repro.analysis) -----------------
+
+    def _emit_config(self) -> None:
+        """Emit a ``server_config`` instant before this incarnation's first
+        protocol event in each capture (lazily: servers may be built before
+        a run capture begins, and one server may span several captures —
+        e.g. two driver runs — so the config re-leads every stream).  The
+        event carries a snapshot of the protocol state so the sanitizer can
+        bootstrap its replay for streams that start mid-life."""
+        if not self.obs.enabled:
+            return
+        log = self.obs.instants
+        if log is self._config_log:
+            return
+        self._config_log = log
+        log.record(
+            "server_config", self.clock(), actor=self.actor,
+            uid=self.uid, shard=self.shard_id, n_workers=self.n_workers,
+            model=self.model.name, execution=self.execution.value,
+            pull_kind=pull_condition_kind(self.pull_con),
+            s=_staleness_arg(self.pull_con.staleness()),
+            quorum=push_condition_quorum(self.push_con, self.n_workers),
+            pssp_c=pull_condition_pssp_c(self.pull_con),
+            v_train=self.v_train,
+            worker_progress=list(self.worker_progress),
+            count={str(k): int(v) for k, v in self.count.items()},
+        )
+
+    def install_conditions(
+        self,
+        pull: Optional[PullCondition] = None,
+        push: Optional[PushCondition] = None,
+    ) -> None:
+        """Install new pull/push conditions (the SetcondPull/SetcondPush
+        backends); re-arms the config event so the sanitizer sees the new
+        protocol parameters from the next handled request on."""
+        if pull is not None:
+            self.pull_con = pull
+        if push is not None:
+            self.push_con = push
+        self._config_log = None
+
     # -- Algorithm 1: PushHandler ------------------------------------------
 
     def handle_push(
@@ -201,6 +290,16 @@ class ShardServer:
             raise ProtocolError(
                 f"worker {worker} pushed iteration {progress}, expected {expected} "
                 f"(pushes must be sequential)"
+            )
+        if self.obs.enabled:
+            # Config (with its state snapshot) must precede the push's own
+            # mutations so a replay bootstrapped from it sees this push as
+            # new work.
+            self._emit_config()
+            self.obs.instants.record(
+                "push", self.clock(), actor=self.actor,
+                uid=self.uid, shard=self.shard_id, worker=worker,
+                progress=progress, v_train=self.v_train,
             )
         self.worker_progress[worker] = progress
 
@@ -245,16 +344,19 @@ class ShardServer:
             if self.obs.enabled:
                 self.obs.instants.record(
                     "frontier_advance", self.clock(), actor=self.actor,
-                    v_train=self.v_train, shard=self.shard_id,
+                    uid=self.uid, v_train=self.v_train, shard=self.shard_id,
                 )
             for req in self.callbacks.pop(flushed_key, []):
                 if self.execution is ExecutionMode.LAZY:
                     self._respond(req, released=True)
                     continue
+                s_now = self.pull_con.staleness()
                 recheck = self._view(progress=req.progress, worker=req.worker)
-                if self._eval_pull(recheck):
-                    self._respond(req, released=True)
+                ok, flipped = self._eval_pull(recheck)
+                if ok:
+                    self._respond(req, released=True, s_at_eval=s_now, coin=flipped)
                 else:
+                    req.blocked_probabilistically = flipped
                     self.callbacks[self.v_train].append(req)
                     self.metrics.record_pull(immediate=False, iteration=req.progress)
                     self._c_dprs.inc()
@@ -262,8 +364,9 @@ class ShardServer:
                     if self.obs.enabled:
                         self.obs.instants.record(
                             "dpr_rebuffered", self.clock(), actor=self.actor,
-                            worker=req.worker, progress=req.progress,
+                            uid=self.uid, worker=req.worker, progress=req.progress,
                             key=self.v_train, shard=self.shard_id,
+                            v_train=self.v_train, s=_staleness_arg(s_now),
                         )
 
     # -- Algorithm 1: PullHandler --------------------------------------------
@@ -283,12 +386,30 @@ class ShardServer:
                 f"push for that iteration arrived (last push: "
                 f"{self.worker_progress[worker]})"
             )
+        if progress < self.last_pull_progress[worker]:
+            raise ProtocolError(
+                f"worker {worker} pulled with progress {progress} after already "
+                f"pulling progress {self.last_pull_progress[worker]} "
+                f"(pulls must not regress)"
+            )
+        self.last_pull_progress[worker] = progress
+        if self.obs.enabled:
+            self._emit_config()
+            self.obs.instants.record(
+                "pull_request", self.clock(), actor=self.actor,
+                uid=self.uid, shard=self.shard_id, worker=worker,
+                progress=progress, v_train=self.v_train,
+            )
+        s_now = self.pull_con.staleness()
         view = self._view(progress=progress, worker=worker)
-        if self._eval_pull(view):
+        ok, flipped = self._eval_pull(view)
+        if ok:
             self.metrics.record_pull(immediate=True, iteration=progress)
             self._c_pulls.inc()
             self._respond(
-                _BufferedPull(worker, progress, respond, enqueue_time=self.clock())
+                _BufferedPull(worker, progress, respond, enqueue_time=self.clock()),
+                s_at_eval=s_now,
+                coin=flipped,
             )
             return True
         # Delayed pull request: buffer keyed by the v_train value whose
@@ -300,7 +421,7 @@ class ShardServer:
                 progress,
                 respond,
                 enqueue_time=self.clock(),
-                blocked_probabilistically=(progress < view.v_train + self.pull_con.staleness()),
+                blocked_probabilistically=flipped,
             )
         )
         self.metrics.record_pull(immediate=False, iteration=progress)
@@ -309,24 +430,33 @@ class ShardServer:
         if self.obs.enabled:
             self.obs.instants.record(
                 "dpr_buffered", self.clock(), actor=self.actor,
-                worker=worker, progress=progress, key=key, shard=self.shard_id,
+                uid=self.uid, worker=worker, progress=progress, key=key,
+                shard=self.shard_id, v_train=self.v_train,
+                s=_staleness_arg(s_now),
             )
         return False
 
-    def _eval_pull(self, view: SyncView) -> bool:
-        """Evaluate the pull condition, accounting PSSP coin decisions."""
+    def _eval_pull(self, view: SyncView) -> Tuple[bool, bool]:
+        """Evaluate the pull condition, accounting PSSP coin decisions.
+
+        Returns ``(ok, flipped)``: whether the pull may be answered, and
+        whether an over-threshold probabilistic coin flip decided it — the
+        sanitizer exempts coin-passed answers from the hard staleness
+        bound, and a coin-paused pull marks its DPR as probabilistic.
+        """
         con = self.pull_con
         flips_before = getattr(con, "coin_flips", None)
         ok = con(view)
-        if flips_before is not None and con.coin_flips > flips_before:
+        flipped = flips_before is not None and con.coin_flips > flips_before
+        if flipped:
             self.metrics.record_probabilistic(passed=ok)
             if self.obs.enabled:
                 self.obs.instants.record(
                     "pssp_pass" if ok else "pssp_pause", self.clock(),
-                    actor=self.actor, worker=view.worker,
+                    actor=self.actor, uid=self.uid, worker=view.worker,
                     progress=view.progress, v_train=view.v_train,
                 )
-        return ok
+        return ok, flipped
 
     def _buffer_key(self, progress: int) -> int:
         if self.execution is ExecutionMode.LAZY:
@@ -336,7 +466,17 @@ class ShardServer:
         # Soft barrier: re-examined at the very next frontier advance.
         return self.v_train
 
-    def _respond(self, req: _BufferedPull, released: bool = False) -> None:
+    def _respond(
+        self,
+        req: _BufferedPull,
+        released: bool = False,
+        s_at_eval: Optional[float] = None,
+        coin: bool = False,
+    ) -> None:
+        """Answer ``req`` now.  ``s_at_eval`` is the staleness threshold the
+        granting pull-condition evaluation used (DSPS adjusts it as a side
+        effect of evaluating, so reading it afterwards could be off by one);
+        ``coin`` marks answers granted by a PSSP over-threshold coin pass."""
         waited = self.clock() - req.enqueue_time
         missing = max(0, req.progress + 1 - self.v_train)
         reply = PullReply(
@@ -351,11 +491,22 @@ class ShardServer:
         self.metrics.record_response(missing=missing, waited=waited)
         self._h_wait.observe(waited)
         self._h_staleness.observe(missing)
-        if released and self.obs.enabled:
+        if self.obs.enabled:
+            if s_at_eval is None:
+                s_at_eval = self.pull_con.staleness()
+            if released:
+                self.obs.instants.record(
+                    "dpr_released", self.clock(), actor=self.actor,
+                    uid=self.uid, worker=req.worker, progress=req.progress,
+                    waited=waited, missing=missing, shard=self.shard_id,
+                )
             self.obs.instants.record(
-                "dpr_released", self.clock(), actor=self.actor,
-                worker=req.worker, progress=req.progress,
-                waited=waited, missing=missing, shard=self.shard_id,
+                "pull_answer", self.clock(), actor=self.actor,
+                uid=self.uid, shard=self.shard_id, worker=req.worker,
+                progress=req.progress, v_train=self.v_train, missing=missing,
+                released=released, coin=coin,
+                kind=pull_condition_kind(self.pull_con),
+                s=_staleness_arg(s_at_eval), waited=waited,
             )
         req.respond(reply)
 
@@ -363,6 +514,53 @@ class ShardServer:
         if self.params is None:
             return None
         return self.params.copy() if self.snapshot_params else self.params
+
+    # -- Checkpoint restore (the only non-push/pull state transition) -------
+
+    def handle_restore(
+        self,
+        shard_state: Dict[str, object],
+        params: Optional[np.ndarray] = None,
+    ) -> None:
+        """Restore this shard's synchronization state from a checkpoint.
+
+        Like the push/pull handlers this is a protocol operation: all
+        mutable server state changes flow through ``handle_*`` methods (the
+        ``repro.analysis`` lint enforces this), and the restore is recorded
+        in the protocol event stream so the sanitizer can re-seed its
+        replay state instead of flagging the frontier jump.
+        """
+        if self.buffered_pulls:
+            raise ProtocolError(
+                f"shard {self.shard_id}: restore with {self.buffered_pulls} "
+                "buffered DPRs (restore requires quiescence)"
+            )
+        worker_progress = [int(p) for p in shard_state["worker_progress"]]
+        if len(worker_progress) != self.n_workers:
+            raise ProtocolError(
+                f"checkpoint has {len(worker_progress)} workers, "
+                f"server has {self.n_workers}"
+            )
+        if params is not None and self.params is not None:
+            self.params[...] = params
+        self.v_train = int(shard_state["v_train"])
+        self.version = int(shard_state["version"])
+        self.count.clear()
+        self.count.update(
+            {int(k): int(v) for k, v in dict(shard_state["count"]).items()}
+        )
+        self.worker_progress = worker_progress
+        self.last_pull_progress = [-1] * self.n_workers
+        self.last_significance = float(shard_state["last_significance"])
+        self.callbacks.clear()
+        if self.obs.enabled:
+            self._emit_config()
+            self.obs.instants.record(
+                "server_restore", self.clock(), actor=self.actor,
+                uid=self.uid, shard=self.shard_id, v_train=self.v_train,
+                worker_progress=list(self.worker_progress),
+                count={str(k): v for k, v in self.count.items()},
+            )
 
     def _check_worker(self, worker: int) -> None:
         if not 0 <= worker < self.n_workers:

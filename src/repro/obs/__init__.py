@@ -66,12 +66,21 @@ __all__ = [
 
 
 class RunCapture:
-    """One run's trace + instant events, labelled for export."""
+    """One run's trace + instant events, labelled for export.
 
-    def __init__(self, label: str, trace) -> None:
+    ``complete`` starts False and is set by the runner once the run
+    finished cleanly (all workers done, no unanswered pulls).  The
+    protocol sanitizer (:mod:`repro.analysis`) only applies its
+    end-of-stream liveness checks — DPR starvation, lost wakeups — to
+    complete captures; an aborted or deadlocked run is checked for
+    safety violations only.
+    """
+
+    def __init__(self, label: str, trace=None) -> None:
         self.label = label
         self.trace = trace
         self.instants = InstantLog()
+        self.complete = False
 
 
 class Observability:
@@ -84,7 +93,7 @@ class Observability:
         self.runs: List[RunCapture] = []
         self._default_instants = InstantLog()
 
-    def begin_run(self, label: str, trace) -> RunCapture:
+    def begin_run(self, label: str, trace=None) -> RunCapture:
         """Start capturing a run; subsequent instants land in its log."""
         cap = RunCapture(label, trace)
         self.runs.append(cap)
@@ -94,6 +103,11 @@ class Observability:
     def instants(self) -> InstantLog:
         """The current run's instant log (a default one before any run)."""
         return self.runs[-1].instants if self.runs else self._default_instants
+
+    @property
+    def default_instants(self) -> InstantLog:
+        """Instants recorded outside any run capture (direct server use)."""
+        return self._default_instants
 
     @property
     def last_run(self) -> Optional[RunCapture]:
@@ -110,7 +124,7 @@ class _DisabledObservability(Observability):
         self.runs = []
         self._default_instants = NullInstantLog()
 
-    def begin_run(self, label: str, trace) -> RunCapture:
+    def begin_run(self, label: str, trace=None) -> RunCapture:
         cap = RunCapture(label, trace)
         cap.instants = self._default_instants
         return cap  # not retained: nothing is being captured

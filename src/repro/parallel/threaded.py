@@ -149,8 +149,22 @@ class ThreadedRunner:
         """
         errors: List[BaseException] = []
         self._t0 = time.monotonic()
+        capture = None
         if self.obs.enabled:
             self.obs.registry.set_clock(self._wall)
+            # Threaded runs have no sim trace; the capture still collects
+            # the servers' protocol instants for the repro.analysis
+            # sanitizer (wall-clock timestamps, handler-order event log).
+            n_servers = getattr(self.system, "n_servers", 0)
+            capture = self.obs.begin_run(
+                f"threaded-run{len(self.obs.runs)}-n{self.system.n_workers}"
+                f"x{n_servers}"
+            )
+            self.obs.instants.record(
+                "run_config", 0.0, actor="runner",
+                runner="threaded", n_workers=self.system.n_workers,
+                n_servers=n_servers,
+            )
         threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -177,6 +191,8 @@ class ThreadedRunner:
                 )
             )
         wall = time.monotonic() - self._t0
+        if capture is not None and not errors:
+            capture.complete = True
         return ThreadedResult(
             wall_time=wall,
             iterations=self.max_iter,

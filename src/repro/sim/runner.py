@@ -210,9 +210,18 @@ class FluentPSSimRunner:
             )
             for j in range(m)
         ]
+        self._capture = None
         if self.obs.enabled:
             self.obs.registry.set_clock(lambda: self.engine.now)
-            self.obs.begin_run(f"sim-run{len(self.obs.runs)}-n{n}x{m}", self.trace)
+            self._capture = self.obs.begin_run(
+                f"sim-run{len(self.obs.runs)}-n{n}x{m}", self.trace
+            )
+            self.obs.instants.record(
+                "run_config", 0.0, actor="runner",
+                runner="sim", n_workers=n, n_servers=m,
+                models=[mod.name for mod in models],
+                execution=config.execution.value,
+            )
         self._pending: Dict[Tuple[int, int], _PendingPull] = {}
         self._filters: List[PushFilter] = [
             config.push_filter_factory() if config.push_filter_factory else NoFilter()
@@ -388,6 +397,8 @@ class FluentPSSimRunner:
                 f"simulation drained with {len(self._pending)} unanswered pulls "
                 "(synchronization deadlock)"
             )
+        if self._capture is not None:
+            self._capture.complete = True
         worker_names = [f"worker{w}" for w in range(self.cfg.cluster.n_workers)]
         total_compute = self.trace.compute_time(worker_names)
         total_wall = sum(self._finish_times)

@@ -15,6 +15,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 
 class SpanKind(enum.Enum):
+    """What a span's time was spent on (Fig-6 categories)."""
+
     COMPUTE = "compute"
     PUSH = "push"  # time from issuing a push until server ack received
     PULL = "pull"  # time from issuing a pull until parameters received
@@ -29,6 +31,8 @@ COMM_KINDS = (SpanKind.PUSH, SpanKind.PULL, SpanKind.BLOCKED)
 
 @dataclass(frozen=True)
 class Span:
+    """One ``[t0, t1]`` interval of ``kind`` work on an actor's track."""
+
     actor: str
     kind: SpanKind
     t0: float
@@ -43,6 +47,13 @@ class Span:
 
 class TraceRecorder:
     """Accumulates spans and named counters for one simulated run."""
+
+    #: Tolerated clock jitter: a span whose end precedes its start by at
+    #: most ``NEGATIVE_EPS * max(1, |t0|)`` seconds is clipped to zero
+    #: duration (float rounding in clock sources); anything larger is a
+    #: recording bug and raises, so Fig-6-style breakdowns can never
+    #: accumulate negative time.
+    NEGATIVE_EPS = 1e-9
 
     def __init__(self, keep_spans: bool = True):
         self.keep_spans = keep_spans
@@ -63,7 +74,9 @@ class TraceRecorder:
     ) -> None:
         """Record one ``[t0, t1]`` span of ``kind`` for ``actor``."""
         if t1 < t0:
-            raise ValueError(f"span ends before it starts: [{t0}, {t1}]")
+            if t0 - t1 > self.NEGATIVE_EPS * max(1.0, abs(t0)):
+                raise ValueError(f"span ends before it starts: [{t0}, {t1}]")
+            t1 = t0  # clock jitter: clip to an empty span
         if self.keep_spans:
             self.spans.append(Span(actor, kind, t0, t1, iteration, note))
         self._totals[(actor, kind)] += t1 - t0

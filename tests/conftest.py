@@ -5,6 +5,11 @@ import pytest
 
 from repro.core.keyspace import ModelSpec, TensorSpec
 
+# Every test runs under the protocol sanitizer: an ambient Observability
+# captures the servers' event streams and the teardown replays them
+# through repro.analysis (opt out with @pytest.mark.no_sanitize).
+pytest_plugins = ("repro.analysis.pytest_plugin",)
+
 
 @pytest.fixture
 def rng():

@@ -1,0 +1,274 @@
+"""Tests for the custom AST lint pass (ANA001–ANA005)."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.analysis.lint import lint_file
+
+pytestmark = pytest.mark.no_sanitize  # pure static analysis, no servers
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def lint_snippet(tmp_path, code, rel="repro/sim/bad.py"):
+    """Write ``code`` at ``rel`` under a fake src root and lint it."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code))
+    return [i.code for i in lint_file(path, tmp_path)]
+
+
+class TestWallClock:
+    def test_time_time_flagged_in_sim(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import time
+            def f():
+                return time.time()
+            ''',
+        )
+        assert "ANA001" in codes
+
+    def test_aliased_import_resolved(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import time as _t
+            def f():
+                return _t.monotonic()
+            ''',
+        )
+        assert "ANA001" in codes
+
+    def test_from_import_resolved(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            from time import perf_counter
+            def f():
+                return perf_counter()
+            ''',
+        )
+        assert "ANA001" in codes
+
+    def test_wall_clock_allowed_outside_sim_core(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import time
+            def f():
+                return time.time()
+            ''',
+            rel="repro/bench/ok.py",
+        )
+        assert "ANA001" not in codes
+
+
+class TestGlobalRNG:
+    def test_numpy_global_rng_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import numpy as np
+            def f():
+                return np.random.random()
+            ''',
+            rel="repro/core/bad.py",
+        )
+        assert "ANA002" in codes
+
+    def test_seeded_generator_allowed(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import numpy as np
+            def f(seed):
+                return np.random.default_rng(seed)
+            ''',
+            rel="repro/core/ok.py",
+        )
+        assert "ANA002" not in codes
+
+    def test_stdlib_random_import_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import random
+            ''',
+        )
+        assert "ANA002" in codes
+
+    def test_stdlib_random_from_import_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            from random import randint
+            ''',
+        )
+        assert "ANA002" in codes
+
+
+class TestServerStateDiscipline:
+    def test_non_handler_mutation_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            class ShardServer:
+                """Doc."""
+                def __init__(self):
+                    self.v_train = 0
+                def handle_push(self):
+                    self.v_train += 1
+                def sneaky_reset(self):
+                    self.v_train = 0
+            ''',
+            rel="repro/core/server.py",
+        )
+        assert "ANA003" in codes
+
+    def test_helper_called_from_handler_allowed(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            class ShardServer:
+                """Doc."""
+                def __init__(self):
+                    self.v_train = 0
+                def handle_push(self):
+                    self._advance()
+                def _advance(self):
+                    self.v_train += 1
+            ''',
+            rel="repro/core/server.py",
+        )
+        assert "ANA003" not in codes
+
+    def test_external_write_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            def hack(server):
+                server.v_train = 10
+            ''',
+            rel="repro/core/api.py",
+        )
+        assert "ANA003" in codes
+
+    def test_container_mutator_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            class ShardServer:
+                """Doc."""
+                def __init__(self):
+                    self.callbacks = {}
+                def not_a_handler(self):
+                    self.callbacks.clear()
+            ''',
+            rel="repro/core/server.py",
+        )
+        assert "ANA003" in codes
+
+
+class TestTimestampEquality:
+    def test_float_eq_on_timestamp_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            def f(t0, t1):
+                return t0 == t1
+            ''',
+        )
+        assert "ANA004" in codes
+
+    def test_suffix_time_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            def f(obj, end_time):
+                return obj.enqueue_time != end_time
+            ''',
+        )
+        assert "ANA004" in codes
+
+    def test_ordering_comparison_allowed(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            def f(t0, t1):
+                return t0 <= t1
+            ''',
+        )
+        assert "ANA004" not in codes
+
+    def test_none_check_allowed(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            def f(t0):
+                return t0 == None  # noqa: E711 (deliberate)
+            ''',
+        )
+        assert "ANA004" not in codes
+
+
+class TestDocstrings:
+    def test_missing_module_docstring_flagged(self, tmp_path):
+        codes = lint_snippet(tmp_path, "x = 1\n", rel="repro/util.py")
+        assert "ANA005" in codes
+
+    def test_missing_class_docstring_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            class Public:
+                pass
+            ''',
+            rel="repro/util.py",
+        )
+        assert "ANA005" in codes
+
+    def test_private_class_exempt(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            class _Private:
+                pass
+            ''',
+            rel="repro/util.py",
+        )
+        assert "ANA005" not in codes
+
+
+class TestRealTree:
+    def test_repo_src_is_lint_clean(self):
+        issues = lint_paths([REPO_SRC])
+        assert issues == [], "\n".join(i.describe() for i in issues)
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        issues = lint_file(bad, tmp_path)
+        assert [i.code for i in issues] == ["ANA000"]

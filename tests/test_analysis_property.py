@@ -1,0 +1,85 @@
+"""Property test: every runner × sync model yields sanitizer-clean traces.
+
+Randomized schedules (seeded straggler models for the simulator, real
+thread interleavings for the threaded runner) across the five
+synchronization models must always produce event streams the protocol
+sanitizer accepts — the dynamic complement to the hand-built adversarial
+streams in ``test_analysis_sanitizer.py``.
+"""
+
+import pytest
+
+from repro.analysis import sanitize_observability
+from repro.bench.workloads import blobs_task
+from repro.core.api import ParameterServerSystem
+from repro.core.models import bsp, dsps, dynamic_pssp, pssp, ssp
+from repro.core.server import ExecutionMode
+from repro.obs import MetricsRegistry, Observability
+from repro.parallel import ThreadedRunner
+from repro.sim.cluster import cpu_cluster
+from repro.sim.runner import SimConfig, run_fluentps
+from repro.sim.stragglers import (
+    ExponentialTailCompute,
+    LogNormalCompute,
+    TransientStragglerCompute,
+)
+
+# The sanitizer plugin in conftest already checks the ambient bundle; these
+# tests pass an explicit Observability so the assertion is theirs.
+pytestmark = pytest.mark.no_sanitize
+
+MODELS = [
+    ("bsp", bsp, ExecutionMode.LAZY),
+    ("ssp", lambda: ssp(2), ExecutionMode.LAZY),
+    ("ssp-soft", lambda: ssp(2), ExecutionMode.SOFT_BARRIER),
+    ("pssp", lambda: pssp(2, 0.5), ExecutionMode.LAZY),
+    ("pssp-dyn", lambda: dynamic_pssp(2), ExecutionMode.LAZY),
+    ("dsps", dsps, ExecutionMode.LAZY),
+]
+
+SCHEDULES = [
+    (0, LogNormalCompute(0.3)),
+    (1, ExponentialTailCompute(p_slow=0.3, tail_scale=2.0)),
+    (2, TransientStragglerCompute(3, slow_factor=4.0, period=5, duration=3)),
+]
+
+
+@pytest.mark.parametrize("seed,compute", SCHEDULES, ids=[s[1].__class__.__name__ for s in SCHEDULES])
+@pytest.mark.parametrize("label,make_model,execution", MODELS, ids=[m[0] for m in MODELS])
+def test_sim_runner_traces_are_clean(label, make_model, execution, seed, compute):
+    obs = Observability(MetricsRegistry("prop"))
+    task = blobs_task(3, n_train=200, n_test=60, seed=seed)
+    run_fluentps(
+        SimConfig(
+            cluster=cpu_cluster(3, 2),
+            max_iter=10,
+            sync=make_model(),
+            execution=execution,
+            compute_model=compute,
+            task=task,
+            seed=seed,
+            base_compute_time=0.4,
+            obs=obs,
+        )
+    )
+    assert obs.last_run.complete
+    report = sanitize_observability(obs)
+    assert report.ok, report.describe()
+    assert report.n_events > 0
+
+
+@pytest.mark.parametrize("label,make_model,execution", MODELS, ids=[m[0] for m in MODELS])
+def test_threaded_runner_traces_are_clean(label, make_model, execution):
+    obs = Observability(MetricsRegistry("prop"))
+    task = blobs_task(3, n_train=200, n_test=60, seed=9)
+    system = ParameterServerSystem(
+        task.spec, task.init_params, 3, 2, make_model(), execution,
+        seed=0, obs=obs,
+    )
+    result = ThreadedRunner(
+        system, task.step_fn, max_iter=10, seed=2, obs=obs
+    ).run()
+    assert result.ok, result.worker_errors
+    report = sanitize_observability(obs)
+    assert report.ok, report.describe()
+    assert report.n_events > 0

@@ -16,6 +16,10 @@ from repro.obs import (
 from repro.obs.report import render_report
 from repro.sim.trace import SpanKind, TraceRecorder
 
+# These tests assert the ambient-observability machinery itself (NULL_OBS
+# defaults, swap/restore); the sanitizer fixture would shadow it.
+pytestmark = pytest.mark.no_sanitize
+
 
 class TestExponentialBuckets:
     def test_values(self):

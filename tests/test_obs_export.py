@@ -23,6 +23,10 @@ from repro.sim.runner import SimConfig, run_fluentps
 from repro.sim.stragglers import HeterogeneousCompute
 from repro.sim.trace import SpanKind, TraceRecorder
 
+# These tests assert ambient-observability defaults (disabled NULL_OBS);
+# the sanitizer fixture's ambient bundle would shadow that behaviour.
+pytestmark = pytest.mark.no_sanitize
+
 
 def make_trace():
     tr = TraceRecorder()

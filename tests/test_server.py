@@ -154,6 +154,30 @@ class TestPullSemantics:
         srv.handle_pull(0, 0, replies.append)
         assert replies[0].params is srv.params
 
+    def test_pull_regression_rejected(self):
+        srv = make_server(model=ssp(5), n=2)
+        srv.handle_push(0, 0)
+        srv.handle_push(0, 1)
+        srv.handle_pull(0, 1, lambda r: None)
+        with pytest.raises(ProtocolError, match="must not regress"):
+            srv.handle_pull(0, 0, lambda r: None)
+
+    def test_pull_ahead_of_own_push_rejected(self):
+        srv = make_server(model=ssp(5), n=2)
+        srv.handle_push(0, 0)
+        with pytest.raises(ProtocolError, match="before its"):
+            srv.handle_pull(0, 1, lambda r: None)
+
+    def test_repeated_pull_at_same_progress_allowed(self):
+        # A worker may re-issue the same pull (retry after a dropped
+        # reply); only going backwards is a protocol violation.
+        srv = make_server(model=ssp(5), n=2)
+        replies = []
+        srv.handle_push(0, 0)
+        srv.handle_pull(0, 0, replies.append)
+        srv.handle_pull(0, 0, replies.append)
+        assert len(replies) == 2
+
 
 class TestLazyExecution:
     """The Figure 3 scenario: s=3, three workers, W2 straggles."""

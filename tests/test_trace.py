@@ -19,6 +19,21 @@ class TestSpans:
         with pytest.raises(ValueError):
             TraceRecorder().record_span("w", SpanKind.PUSH, 2.0, 1.0)
 
+    def test_jitter_inversion_clipped_to_empty(self):
+        # A sub-epsilon inversion is float clock jitter, not a bug: the
+        # span is clipped to zero duration instead of raising.
+        tr = TraceRecorder()
+        t0 = 100.0
+        tr.record_span("w", SpanKind.PUSH, t0, t0 - 1e-12 * t0)
+        assert tr.total("w", SpanKind.PUSH) == 0.0
+        assert tr.spans[0].t1 == tr.spans[0].t0 == t0
+        assert tr.end_time == t0
+
+    def test_real_inversion_still_raises(self):
+        tr = TraceRecorder()
+        with pytest.raises(ValueError, match="ends before"):
+            tr.record_span("w", SpanKind.PUSH, 100.0, 99.9)
+
     def test_comm_vs_compute_split(self):
         tr = TraceRecorder()
         tr.record_span("w0", SpanKind.COMPUTE, 0, 5)
