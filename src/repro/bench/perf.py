@@ -1,0 +1,528 @@
+"""Tracked performance microbenchmarks for the simulation hot paths.
+
+Every paper-scale result this repo produces — the Fig. 7 scalability
+sweep, the 64/128-worker model matrices, the PSSP ablation grid — is a
+function of how fast :mod:`repro.sim` pushes events.  This module pins
+that speed down as numbers a PR can be held to:
+
+- **engine** — discrete-event throughput: processes yielding timeouts,
+  the pattern every worker/server/transfer loop reduces to;
+- **network** — incast messages/second: N senders draining through one
+  receiver NIC (the §II-B bottleneck path);
+- **sanitizer** — protocol-replay events/second through the
+  :mod:`repro.analysis` vector-clock checker;
+- **ml** — proxy-model training steps/second (the gradient math a
+  co-simulated run interleaves with the event loop);
+- **null telemetry** — the per-event cost of instrumentation when the
+  null observability backend is active, reported as a percentage of one
+  engine event's cost (the "zero-cost when off" contract);
+- **macro** — one Fig-7-shaped timing-only run at 128 workers, wall
+  clock plus sustained events/second.
+
+Usage::
+
+    python -m repro.bench.perf --out BENCH_perf.json          # full scale
+    python -m repro.bench.perf --quick                        # CI smoke
+    python -m repro.bench.perf --quick --baseline BENCH_perf.json
+
+With ``--baseline`` the run compares its engine events/sec against the
+committed numbers and exits non-zero on a regression larger than
+``--max-regress`` (default 30%).  ``BENCH_perf.json`` keeps a ``history``
+list so the trajectory across PRs stays visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.driver import StepContext
+from repro.core.models import ssp
+from repro.core.server import ShardServer
+from repro.obs import NULL_OBS, MetricsRegistry, Observability, observed
+from repro.sim.cluster import cpu_cluster
+from repro.sim.engine import Engine
+from repro.sim.network import Network, NicSpec
+from repro.sim.stragglers import cpu_cluster_compute
+
+#: Schema version of the emitted JSON document.
+SCHEMA = 1
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's headline rate plus supporting detail."""
+
+    name: str
+    value: float
+    unit: str
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"value": self.value, "unit": self.unit}
+        if self.detail:
+            out["detail"] = {k: float(v) for k, v in sorted(self.detail.items())}
+        return out
+
+
+@dataclass(frozen=True)
+class PerfScale:
+    """Workload sizes for one suite run (quick keeps CI under ~30 s)."""
+
+    name: str
+    engine_procs: int
+    engine_iters: int
+    net_senders: int
+    net_msgs: int
+    sanitizer_iters: int
+    ml_steps: int
+    telemetry_ops: int
+    macro_workers: int
+    macro_iters: int
+    repeats: int
+
+
+QUICK = PerfScale(
+    name="quick",
+    engine_procs=32,
+    engine_iters=400,
+    net_senders=16,
+    net_msgs=40,
+    sanitizer_iters=60,
+    ml_steps=60,
+    telemetry_ops=50_000,
+    macro_workers=64,
+    macro_iters=4,
+    repeats=2,
+)
+
+FULL = PerfScale(
+    name="full",
+    engine_procs=64,
+    engine_iters=2_000,
+    net_senders=32,
+    net_msgs=150,
+    sanitizer_iters=400,
+    ml_steps=300,
+    telemetry_ops=400_000,
+    macro_workers=128,
+    macro_iters=8,
+    repeats=5,
+)
+
+
+def _best(run_once: Callable[[], Tuple[float, float]], repeats: int) -> Tuple[float, float]:
+    """Run ``run_once`` ``repeats`` times; return (best units/sec, best secs).
+
+    ``run_once`` returns ``(units_of_work, elapsed_seconds)``.  Best-of-N
+    damps scheduler noise the way timeit does.
+    """
+    best_rate, best_secs = 0.0, float("inf")
+    for _ in range(max(1, repeats)):
+        units, secs = run_once()
+        secs = max(secs, 1e-9)
+        rate = units / secs
+        if rate > best_rate:
+            best_rate, best_secs = rate, secs
+    return best_rate, best_secs
+
+
+# ---------------------------------------------------------------------------
+# engine: process-yield-timeout event throughput
+# ---------------------------------------------------------------------------
+
+
+def bench_engine(scale: PerfScale) -> BenchResult:
+    """Events/second through the canonical process loop: each process
+    yields a bare delay (the zero-allocation timeout spelling used by the
+    simulator's hot paths; before the fast path this was ``yield
+    Timeout(delay)``, which the engine still accepts)."""
+
+    def run_once() -> Tuple[float, float]:
+        eng = Engine()
+
+        def proc(delay: float):
+            for _ in range(scale.engine_iters):
+                yield delay
+
+        for p in range(scale.engine_procs):
+            eng.spawn(proc(1.0 + p * 1e-3), name=f"p{p}")
+        t0 = time.perf_counter()
+        eng.run()
+        dt = time.perf_counter() - t0
+        return float(eng.events_processed), dt
+
+    rate, secs = _best(run_once, scale.repeats)
+    return BenchResult(
+        "engine_events_per_sec",
+        rate,
+        "events/s",
+        {"events": scale.engine_procs * scale.engine_iters, "best_run_s": secs},
+    )
+
+
+# ---------------------------------------------------------------------------
+# network: incast messages/second
+# ---------------------------------------------------------------------------
+
+
+def bench_network(scale: PerfScale) -> BenchResult:
+    """Messages/second with N senders draining through one receiver NIC."""
+    size = 64 * 1024
+
+    def run_once() -> Tuple[float, float]:
+        eng = Engine()
+        net = Network(eng, latency_s=50e-6)
+        nic = NicSpec(bandwidth_Bps=125e6)
+        sink = net.add_node("sink", nic)
+        for s in range(scale.net_senders):
+            net.add_node(f"w{s}", nic)
+
+        def sender(s: int):
+            for _ in range(scale.net_msgs):
+                yield net.send(f"w{s}", "sink", size, tag="push")
+
+        for s in range(scale.net_senders):
+            eng.spawn(sender(s), name=f"send{s}")
+        t0 = time.perf_counter()
+        eng.run()
+        dt = time.perf_counter() - t0
+        assert sink.messages_received == scale.net_senders * scale.net_msgs
+        return float(net.total_messages), dt
+
+    rate, secs = _best(run_once, scale.repeats)
+    return BenchResult(
+        "network_messages_per_sec",
+        rate,
+        "messages/s",
+        {"messages": scale.net_senders * scale.net_msgs, "best_run_s": secs},
+    )
+
+
+# ---------------------------------------------------------------------------
+# sanitizer: protocol replay events/second
+# ---------------------------------------------------------------------------
+
+
+def _protocol_stream(iters: int, n_workers: int = 8):
+    """A captured SSP push/pull event stream for replay benchmarking."""
+    from repro.analysis import events_from_instants
+
+    obs = Observability(MetricsRegistry("perf"))
+    with observed(obs):
+        clock = {"t": 0.0}
+
+        def tick() -> float:
+            clock["t"] += 1e-4
+            return clock["t"]
+
+        server = ShardServer(
+            shard_id=0, n_workers=n_workers, model=ssp(2), obs=obs, clock=tick
+        )
+        replies = []
+        for i in range(iters):
+            for w in range(n_workers):
+                server.handle_push(w, i)
+                server.handle_pull(w, i, respond=replies.append)
+    return events_from_instants(obs.instants)
+
+
+def bench_sanitizer(scale: PerfScale) -> BenchResult:
+    """Replay events/second through the vector-clock protocol checker."""
+    from repro.analysis import sanitize_events
+
+    events = _protocol_stream(scale.sanitizer_iters)
+
+    def run_once() -> Tuple[float, float]:
+        t0 = time.perf_counter()
+        report = sanitize_events(events)
+        dt = time.perf_counter() - t0
+        assert report.ok, "perf stream must be violation-free"
+        return float(len(events)), dt
+
+    rate, secs = _best(run_once, scale.repeats)
+    return BenchResult(
+        "sanitizer_events_per_sec",
+        rate,
+        "events/s",
+        {"events": len(events), "best_run_s": secs},
+    )
+
+
+# ---------------------------------------------------------------------------
+# ml: proxy training steps/second
+# ---------------------------------------------------------------------------
+
+
+def bench_ml(scale: PerfScale) -> BenchResult:
+    """Gradient-step throughput of the blobs proxy task (one worker)."""
+    from repro.bench.workloads import blobs_task
+
+    task = blobs_task(n_workers=1, n_train=1024, n_test=128, seed=7)
+    rng = np.random.default_rng(11)
+
+    def run_once() -> Tuple[float, float]:
+        params = task.init_params.copy()
+        t0 = time.perf_counter()
+        for i in range(scale.ml_steps):
+            update = task.step_fn(
+                StepContext(worker=0, iteration=i, params=params, rng=rng)
+            )
+            params += update
+        dt = time.perf_counter() - t0
+        return float(scale.ml_steps), dt
+
+    rate, secs = _best(run_once, scale.repeats)
+    return BenchResult(
+        "ml_steps_per_sec", rate, "steps/s", {"steps": scale.ml_steps, "best_run_s": secs}
+    )
+
+
+# ---------------------------------------------------------------------------
+# null telemetry: instrumentation cost with observability off
+# ---------------------------------------------------------------------------
+
+
+class _TelemetryStandIn:
+    """Mirrors ShardServer's cached ``_obs_on`` slot for the cost probe."""
+
+    __slots__ = ("_obs_on",)
+
+    def __init__(self) -> None:
+        self._obs_on = NULL_OBS.enabled
+
+
+def bench_null_telemetry(scale: PerfScale, engine_rate: float) -> BenchResult:
+    """Per-event null-backend telemetry cost as % of one engine event.
+
+    Emulates exactly the per-push instrumentation a :class:`ShardServer`
+    pays with observability disabled: one cached-bool guard (the server
+    caches ``obs.enabled`` at construction), behind which every emission
+    — instant-log record and pre-bound metric updates alike — is skipped
+    before any label formatting happens.  The headline number is that
+    cost divided by the engine's per-event cost — the acceptance bar is
+    <= 5%.
+    """
+    if NULL_OBS.enabled:
+        raise AssertionError("null bundle must be disabled")
+    srv = _TelemetryStandIn()
+    n = scale.telemetry_ops
+
+    def run_once() -> Tuple[float, float]:
+        t0 = time.perf_counter()
+        for _ in range(n):
+            if srv._obs_on:
+                raise AssertionError("stand-in must be disabled")
+        dt = time.perf_counter() - t0
+        return float(n), dt
+
+    def run_empty() -> Tuple[float, float]:
+        t0 = time.perf_counter()
+        for _ in range(n):
+            pass
+        dt = time.perf_counter() - t0
+        return float(n), dt
+
+    rate, _secs = _best(run_once, scale.repeats)
+    empty_rate, _ = _best(run_empty, scale.repeats)
+    # Net telemetry time per event: instrumented loop minus loop overhead.
+    per_op = max(0.0, 1.0 / rate - 1.0 / empty_rate)
+    per_event = 1.0 / max(engine_rate, 1e-9)
+    overhead_pct = 100.0 * per_op / per_event
+    return BenchResult(
+        "null_telemetry_overhead_pct",
+        overhead_pct,
+        "% of engine event cost",
+        {"telemetry_ns_per_event": per_op * 1e9, "engine_ns_per_event": per_event * 1e9},
+    )
+
+
+# ---------------------------------------------------------------------------
+# macro: Fig-7-shaped timing-only run at 128 workers
+# ---------------------------------------------------------------------------
+
+
+def bench_macro(scale: PerfScale) -> BenchResult:
+    """Wall clock of one Fig-7-shaped timing-only co-simulation.
+
+    Best of ``scale.repeats`` complete runs (fresh runner each time), like
+    the micro benchmarks: a single macro run is ~1 s and visibly noisy on
+    a loaded machine.
+    """
+    from repro.ml.models_zoo import alexnet_cifar_workload
+    from repro.sim.runner import FluentPSSimRunner, SimConfig
+
+    n = scale.macro_workers
+    wall = float("inf")
+    events = 0
+    result = None
+    for _ in range(scale.repeats):
+        cfg = SimConfig(
+            cluster=cpu_cluster(n, n_servers=8),
+            max_iter=scale.macro_iters,
+            sync=ssp(3),
+            workload=alexnet_cifar_workload(),
+            compute_model=cpu_cluster_compute(n),
+            seed=3,
+        )
+        runner = FluentPSSimRunner(cfg)
+        t0 = time.perf_counter()
+        run_result = runner.run()
+        run_wall = time.perf_counter() - t0
+        if run_wall < wall:
+            wall = run_wall
+            events = runner.engine.events_processed
+            result = run_result
+    return BenchResult(
+        "macro_fig7_wall_s",
+        wall,
+        "s",
+        {
+            "workers": n,
+            "iterations": scale.macro_iters,
+            "events": events,
+            "events_per_sec": events / max(wall, 1e-9),
+            "sim_duration_s": result.duration,
+            "messages_on_wire": result.messages_on_wire,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# suite driver
+# ---------------------------------------------------------------------------
+
+
+def run_suite(scale: PerfScale) -> Dict[str, object]:
+    """Run every benchmark at ``scale``; returns the JSON document body."""
+    results: List[BenchResult] = []
+    engine = bench_engine(scale)
+    results.append(engine)
+    results.append(bench_network(scale))
+    results.append(bench_sanitizer(scale))
+    results.append(bench_ml(scale))
+    results.append(bench_null_telemetry(scale, engine.value))
+    results.append(bench_macro(scale))
+    return {
+        "schema": SCHEMA,
+        "scale": scale.name,
+        "python": platform.python_version(),
+        "benchmarks": {r.name: r.to_dict() for r in results},
+    }
+
+
+def _bench_value(doc: Dict[str, object], name: str) -> Optional[float]:
+    bench = doc.get("benchmarks", {}).get(name)
+    return None if bench is None else float(bench["value"])
+
+
+def check_regression(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regress: float = 0.30,
+) -> List[str]:
+    """Compare against a committed baseline document.
+
+    Returns failure messages; only ``engine_events_per_sec`` is gating
+    (absolute rates vary across machines — the engine bench is the one
+    the acceptance bar names).  Lower-is-better metrics gate nothing but
+    are reported by the caller.
+    """
+    failures: List[str] = []
+    name = "engine_events_per_sec"
+    base, cur = _bench_value(baseline, name), _bench_value(current, name)
+    if base is not None and cur is not None and base > 0:
+        drop = (base - cur) / base
+        if drop > max_regress:
+            failures.append(
+                f"{name}: {cur:,.0f}/s is {drop:.0%} below baseline "
+                f"{base:,.0f}/s (limit {max_regress:.0%})"
+            )
+    return failures
+
+
+def render(doc: Dict[str, object]) -> str:
+    """Human-readable one-line-per-benchmark summary."""
+    lines = [f"== repro.bench.perf ({doc['scale']}, py{doc['python']}) =="]
+    for name, bench in doc["benchmarks"].items():
+        lines.append(f"{name:32s} {bench['value']:>14,.1f} {bench['unit']}")
+        detail = bench.get("detail", {})
+        if detail:
+            bits = ", ".join(f"{k}={v:,.4g}" for k, v in detail.items())
+            lines.append(f"{'':32s}   ({bits})")
+    return "\n".join(lines)
+
+
+def _rolled_history(out: Path) -> List[Dict[str, object]]:
+    """The history for a new document at ``out``: the previous document's
+    history plus the previous document itself (its own history stripped),
+    so every ``--out`` run extends the perf trajectory by one entry."""
+    if not out.exists():
+        return []
+    try:
+        prev = json.loads(out.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(prev, dict) or "benchmarks" not in prev:
+        return []
+    history = prev.get("history", [])
+    if not isinstance(history, list):
+        history = []
+    entry = {k: v for k, v in prev.items() if k != "history"}
+    return history + [entry]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf",
+        description="Run the tracked hot-path performance benchmarks.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized runs (default: full scale)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write results JSON (e.g. BENCH_perf.json)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="committed baseline to compare against")
+    parser.add_argument("--max-regress", type=float, default=0.30,
+                        help="fail when engine events/sec drops more than "
+                             "this fraction below the baseline (default 0.30)")
+    args = parser.parse_args(argv)
+
+    scale = QUICK if args.quick else FULL
+    doc = run_suite(scale)
+    print(render(doc))
+
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        doc["history"] = _rolled_history(out)
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"[perf: wrote {out}]")
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures = check_regression(doc, baseline, args.max_regress)
+        base_engine = _bench_value(baseline, "engine_events_per_sec")
+        cur_engine = _bench_value(doc, "engine_events_per_sec")
+        if base_engine and cur_engine:
+            print(
+                f"[perf: engine {cur_engine:,.0f}/s vs baseline "
+                f"{base_engine:,.0f}/s ({cur_engine / base_engine:.2f}x)]"
+            )
+        for msg in failures:
+            print(f"PERF REGRESSION: {msg}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

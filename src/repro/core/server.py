@@ -165,9 +165,13 @@ class ShardServer:
         self.rng = rng or np.random.default_rng(0)
         self.snapshot_params = snapshot_params
         self.metrics = metrics or SyncMetrics()
-        # Observability: bound (label-resolved) handles so the hot path is
-        # one no-op method call per event under the null backend.
+        # Observability: bound (label-resolved) handles, and every
+        # emission — including bound-handle updates — gated on one cached
+        # bool, so the disabled hot path pays a single attribute load and
+        # branch per event.  ``enabled`` is a class constant on the
+        # bundle, so caching it at construction is safe.
         self.obs = obs or NULL_OBS
+        self._obs_on = self.obs.enabled
         reg = self.obs.registry
         self.actor = f"server{shard_id}"
         self._c_pushes = reg.counter("ps_pushes_total", "gradient pushes applied").labels(
@@ -215,15 +219,15 @@ class ShardServer:
     # -- views ------------------------------------------------------------
 
     def _view(self, progress: int, worker: int) -> SyncView:
-        pushed = [p for p in self.worker_progress]
+        wp = self.worker_progress
         return SyncView(
             progress=progress,
             worker=worker,
             v_train=self.v_train,
             n_workers=self.n_workers,
             count=self.count,
-            fastest=max(pushed),
-            slowest=min(pushed),
+            fastest=max(wp),
+            slowest=min(wp),
             significance=self.last_significance,
             rng=self.rng,
         )
@@ -241,7 +245,7 @@ class ShardServer:
         e.g. two driver runs — so the config re-leads every stream).  The
         event carries a snapshot of the protocol state so the sanitizer can
         bootstrap its replay for streams that start mid-life."""
-        if not self.obs.enabled:
+        if not self._obs_on:
             return
         log = self.obs.instants
         if log is self._config_log:
@@ -291,7 +295,7 @@ class ShardServer:
                 f"worker {worker} pushed iteration {progress}, expected {expected} "
                 f"(pushes must be sequential)"
             )
-        if self.obs.enabled:
+        if self._obs_on:
             # Config (with its state snapshot) must precede the push's own
             # mutations so a replay bootstrapped from it sees this push as
             # new work.
@@ -319,7 +323,8 @@ class ShardServer:
         self.version += 1
         self.count[progress] += 1
         self.metrics.record_push()
-        self._c_pushes.inc()
+        if self._obs_on:
+            self._c_pushes.inc()
         self._try_advance()
 
     def _try_advance(self) -> None:
@@ -339,9 +344,9 @@ class ShardServer:
             flushed_key = self.v_train
             self.v_train += 1
             self.metrics.record_frontier_advance()
-            self._c_advances.inc()
-            self._g_frontier.set(self.v_train)
-            if self.obs.enabled:
+            if self._obs_on:
+                self._c_advances.inc()
+                self._g_frontier.set(self.v_train)
                 self.obs.instants.record(
                     "frontier_advance", self.clock(), actor=self.actor,
                     uid=self.uid, v_train=self.v_train, shard=self.shard_id,
@@ -359,9 +364,9 @@ class ShardServer:
                     req.blocked_probabilistically = flipped
                     self.callbacks[self.v_train].append(req)
                     self.metrics.record_pull(immediate=False, iteration=req.progress)
-                    self._c_dprs.inc()
-                    self._c_pulls.inc()
-                    if self.obs.enabled:
+                    if self._obs_on:
+                        self._c_dprs.inc()
+                        self._c_pulls.inc()
                         self.obs.instants.record(
                             "dpr_rebuffered", self.clock(), actor=self.actor,
                             uid=self.uid, worker=req.worker, progress=req.progress,
@@ -393,7 +398,7 @@ class ShardServer:
                 f"(pulls must not regress)"
             )
         self.last_pull_progress[worker] = progress
-        if self.obs.enabled:
+        if self._obs_on:
             self._emit_config()
             self.obs.instants.record(
                 "pull_request", self.clock(), actor=self.actor,
@@ -405,7 +410,8 @@ class ShardServer:
         ok, flipped = self._eval_pull(view)
         if ok:
             self.metrics.record_pull(immediate=True, iteration=progress)
-            self._c_pulls.inc()
+            if self._obs_on:
+                self._c_pulls.inc()
             self._respond(
                 _BufferedPull(worker, progress, respond, enqueue_time=self.clock()),
                 s_at_eval=s_now,
@@ -425,9 +431,9 @@ class ShardServer:
             )
         )
         self.metrics.record_pull(immediate=False, iteration=progress)
-        self._c_pulls.inc()
-        self._c_dprs.inc()
-        if self.obs.enabled:
+        if self._obs_on:
+            self._c_pulls.inc()
+            self._c_dprs.inc()
             self.obs.instants.record(
                 "dpr_buffered", self.clock(), actor=self.actor,
                 uid=self.uid, worker=worker, progress=progress, key=key,
@@ -450,7 +456,7 @@ class ShardServer:
         flipped = flips_before is not None and con.coin_flips > flips_before
         if flipped:
             self.metrics.record_probabilistic(passed=ok)
-            if self.obs.enabled:
+            if self._obs_on:
                 self.obs.instants.record(
                     "pssp_pass" if ok else "pssp_pause", self.clock(),
                     actor=self.actor, uid=self.uid, worker=view.worker,
@@ -489,9 +495,9 @@ class ShardServer:
             params=self._snapshot(),
         )
         self.metrics.record_response(missing=missing, waited=waited)
-        self._h_wait.observe(waited)
-        self._h_staleness.observe(missing)
-        if self.obs.enabled:
+        if self._obs_on:
+            self._h_wait.observe(waited)
+            self._h_staleness.observe(missing)
             if s_at_eval is None:
                 s_at_eval = self.pull_con.staleness()
             if released:
@@ -553,7 +559,7 @@ class ShardServer:
         self.last_pull_progress = [-1] * self.n_workers
         self.last_significance = float(shard_state["last_significance"])
         self.callbacks.clear()
-        if self.obs.enabled:
+        if self._obs_on:
             self._emit_config()
             self.obs.instants.record(
                 "server_restore", self.clock(), actor=self.actor,

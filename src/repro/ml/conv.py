@@ -55,7 +55,9 @@ def col2im(
     oh = _out_size(h, kh, stride, pad)
     ow = _out_size(w, kw, stride, pad)
     cols = cols.reshape(b, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
-    out = np.zeros((b, c, h + 2 * pad, w + 2 * pad))
+    # Match the input dtype: a bare np.zeros would silently upcast
+    # float32 models to float64, doubling the scatter buffer.
+    out = np.zeros((b, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
     for i in range(kh):
         for j in range(kw):
             out[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[

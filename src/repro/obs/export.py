@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Union
 _US = 1e6  # seconds -> trace-format microseconds
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instant:
     """One point event on an actor's track."""
 

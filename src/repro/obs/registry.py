@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -120,7 +121,12 @@ class Counter(_Metric):
 
 
 class Gauge(_Metric):
-    """Last-value-wins level; optionally keeps a (t, value) series."""
+    """Last-value-wins level; optionally keeps a (t, value) series.
+
+    Series storage is a per-label ring buffer (``series_max_points``
+    newest points, ``None`` = unbounded), so long simulations do not grow
+    memory linearly with events.
+    """
 
     kind = "gauge"
 
@@ -131,12 +137,18 @@ class Gauge(_Metric):
         lock: threading.Lock,
         clock,
         keep_series: bool = True,
+        series_max_points: Optional[int] = None,
     ):
         super().__init__(name, help, lock)
+        if series_max_points is not None and series_max_points < 1:
+            raise ValueError(
+                f"series_max_points must be >= 1 or None, got {series_max_points}"
+            )
         self._clock = clock
         self._keep_series = keep_series
+        self._series_max = series_max_points
         self._values: Dict[LabelKey, float] = {}
-        self._series: Dict[LabelKey, Tuple[List[float], List[float]]] = {}
+        self._series: Dict[LabelKey, Tuple[Deque[float], Deque[float]]] = {}
 
     def set(self, value: float, **labels: object) -> None:
         self._set(_label_key(labels), value)
@@ -145,7 +157,11 @@ class Gauge(_Metric):
         with self._lock:
             self._values[key] = float(value)
             if self._keep_series:
-                ts, vs = self._series.setdefault(key, ([], []))
+                pair = self._series.get(key)
+                if pair is None:
+                    m = self._series_max
+                    pair = self._series[key] = (deque(maxlen=m), deque(maxlen=m))
+                ts, vs = pair
                 ts.append(float(self._clock()))
                 vs.append(float(value))
 
@@ -281,9 +297,20 @@ class MetricsRegistry:
     thread runner) via :meth:`set_clock`.
     """
 
-    def __init__(self, name: str = "", keep_series: bool = True):
+    #: Default gauge series cap: newest points kept per label set.  Big
+    #: enough for any plot we render, small enough that a week-long sim
+    #: cannot grow memory linearly with events.
+    DEFAULT_SERIES_MAX_POINTS = 65_536
+
+    def __init__(
+        self,
+        name: str = "",
+        keep_series: bool = True,
+        series_max_points: Optional[int] = DEFAULT_SERIES_MAX_POINTS,
+    ):
         self.name = name
         self.keep_series = keep_series
+        self.series_max_points = series_max_points
         self._lock = threading.Lock()
         self._metrics: Dict[str, _Metric] = {}
         self._clock = lambda: 0.0
@@ -315,7 +342,14 @@ class MetricsRegistry:
         return self._get_or_create(
             name,
             Gauge,
-            lambda: Gauge(name, help, self._lock, self._read_clock, self.keep_series),
+            lambda: Gauge(
+                name,
+                help,
+                self._lock,
+                self._read_clock,
+                self.keep_series,
+                self.series_max_points,
+            ),
         )
 
     def histogram(

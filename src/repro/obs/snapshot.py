@@ -59,24 +59,50 @@ class ServerSnapshotter:
         self._g_rx = registry.gauge(
             "nic_rx_utilization", "fraction of time the RX lane was draining"
         )
+        # Pre-bound label handles: scrape() runs every sampling interval
+        # for every shard and node, so the kwargs->sorted-key label
+        # formatting is paid once here instead of per sample.
+        self._per_server = [
+            (
+                s,
+                self._g_depth.labels(shard=s.shard_id),
+                self._g_frontier.labels(shard=s.shard_id),
+                self._g_version.labels(shard=s.shard_id),
+                self._g_dprs.labels(shard=s.shard_id),
+                self._g_age.labels(shard=s.shard_id),
+            )
+            for s in self.servers
+        ]
+        self._b_inflight = self._g_inflight.labels()
+        self._b_net_bytes = self._g_net_bytes.labels()
+        self._per_node = (
+            [
+                (
+                    network.endpoints[node],
+                    self._g_tx.labels(node=node),
+                    self._g_rx.labels(node=node),
+                )
+                for node in self.nodes
+            ]
+            if network is not None
+            else []
+        )
 
     def scrape(self, now: float) -> None:
         """Record one sample of every scraped quantity at sim time ``now``."""
         self.scrapes += 1
-        for server in self.servers:
-            shard = server.shard_id
-            self._g_depth.set(server.buffered_pulls, shard=shard)
-            self._g_frontier.set(server.v_train, shard=shard)
-            self._g_version.set(server.version, shard=shard)
-            self._g_dprs.set(server.metrics.dprs, shard=shard)
-            self._g_age.set(oldest_buffered_age(server, now), shard=shard)
+        for server, b_depth, b_frontier, b_version, b_dprs, b_age in self._per_server:
+            b_depth.set(server.buffered_pulls)
+            b_frontier.set(server.v_train)
+            b_version.set(server.version)
+            b_dprs.set(server.metrics.dprs)
+            b_age.set(oldest_buffered_age(server, now))
         if self.network is not None:
-            self._g_inflight.set(self.network.bytes_in_flight)
-            self._g_net_bytes.set(self.network.total_bytes)
-            for node in self.nodes:
-                ep = self.network.endpoints[node]
-                self._g_tx.set(ep.tx_utilization(now), node=node)
-                self._g_rx.set(ep.rx_utilization(now), node=node)
+            self._b_inflight.set(self.network.bytes_in_flight)
+            self._b_net_bytes.set(self.network.total_bytes)
+            for ep, b_tx, b_rx in self._per_node:
+                b_tx.set(ep.tx_utilization(now))
+                b_rx.set(ep.rx_utilization(now))
 
     def install(self, engine, interval_s: float) -> None:
         """Scrape now and then every ``interval_s`` simulated seconds while

@@ -9,14 +9,46 @@ function of its inputs — required for reproducible co-simulation.
 
 This is intentionally simpy-shaped but self-contained (no network access
 for dependencies) and small enough to property-test exhaustively.
+
+Hot-path design (measured by :mod:`repro.bench.perf`):
+
+- heap entries are flat ``(when, seq, fn, arg)`` tuples — no per-event
+  closure or argument tuple (every internal resume callback takes
+  exactly one payload argument), and ordering never compares past
+  ``seq`` (unique), so the heap stays on C-level tuple comparison;
+- cancellation is tombstone-based: :meth:`Engine.schedule` returns a
+  ``__slots__`` :class:`EventHandle`; cancelling marks the seq dead and
+  the drain loop discards it on pop — the heap is never rebuilt;
+- :class:`Process` resumption type-dispatches on the yielded waitable:
+  the overwhelmingly common ``yield Timeout(...)`` and ``yield Signal``
+  cases schedule directly on the heap, skipping the generic
+  ``Waitable._subscribe`` double dispatch; a bare ``yield <number>`` is
+  the zero-allocation spelling of ``yield Timeout(number)`` used by the
+  simulator's hottest loops;
+- :meth:`Engine.run` drains with an inlined loop over local references
+  rather than calling :meth:`step` per event.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Optional, Set, Tuple
 
 ProcessGen = Generator["Waitable", Any, Any]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+
+def _invoke0(fn: Callable[[], None]) -> None:
+    """Adapter: run a zero-argument callback under the one-arg protocol."""
+    fn()
+
+
+def _invoke_n(packed: Tuple[Callable[..., None], Tuple[Any, ...]]) -> None:
+    """Adapter: run a multi-argument callback under the one-arg protocol."""
+    fn, args = packed
+    fn(*args)
 
 
 class SimulationError(RuntimeError):
@@ -38,11 +70,11 @@ class Timeout(Waitable):
     def __init__(self, delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        self.delay = float(delay)
+        self.delay = delay
         self.value = value
 
     def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
-        engine.call_in(self.delay, callback, self.value)
+        engine._schedule(engine.now + self.delay, callback, self.value)
 
 
 class Signal(Waitable):
@@ -77,15 +109,18 @@ class Signal(Waitable):
             raise SimulationError(f"signal {self.name!r} fired twice")
         self._fired = True
         self._payload = payload
-        waiters, self._waiters = self._waiters, []
-        for cb in waiters:
-            self._engine.call_in(0.0, cb, payload)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            eng = self._engine
+            for cb in waiters:
+                eng._schedule(eng.now, cb, payload)
 
     def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
         if engine is not self._engine:
             raise SimulationError("signal subscribed from a foreign engine")
         if self._fired:
-            engine.call_in(0.0, callback, self._payload)
+            engine._schedule(engine.now, callback, self._payload)
         else:
             self._waiters.append(callback)
 
@@ -99,6 +134,8 @@ class AllOf(Waitable):
     """Resume when every child waitable has completed; payload is the list
     of child payloads in the original order."""
 
+    __slots__ = ("_engine", "_children")
+
     def __init__(self, engine: "Engine", children: Iterable[Waitable]):
         self._engine = engine
         self._children = list(children)
@@ -106,7 +143,7 @@ class AllOf(Waitable):
     def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
         n = len(self._children)
         if n == 0:
-            engine.call_in(0.0, callback, [])
+            engine._schedule(engine.now, callback, [])
             return
         results: List[Any] = [None] * n
         remaining = [n]
@@ -125,68 +162,202 @@ class AllOf(Waitable):
 
 
 class Process(Waitable):
-    """A running generator.  Waitable: joiners get the generator's return."""
+    """A running generator.  Waitable: joiners get the generator's return.
 
-    __slots__ = ("_engine", "_gen", "_done", "name")
+    The completion :class:`Signal` is created lazily — a process nobody
+    joins (e.g. one network transfer) never allocates it.
+    """
+
+    __slots__ = ("_engine", "_gen", "_done", "_finished", "_result", "_step_cb", "name")
 
     def __init__(self, engine: "Engine", gen: ProcessGen, name: str = ""):
         self._engine = engine
         self._gen = gen
-        self._done = Signal(engine, name=f"{name}.done")
+        self._done: Optional[Signal] = None
+        self._finished = False
+        self._result: Any = None
+        #: One closure per process (not per event): resolves gen.send, the
+        #: engine, and its heap once, so each resume runs on fast locals
+        #: instead of repeated attribute loads and bound-method binding.
+        self._step_cb = self._make_step()
         self.name = name
 
     @property
     def finished(self) -> bool:
-        return self._done.fired
+        return self._finished
 
     @property
     def result(self) -> Any:
-        return self._done.payload
+        if not self._finished:
+            raise SimulationError(f"process {self.name!r} has not finished")
+        return self._result
 
     def _start(self) -> None:
-        self._engine.call_in(0.0, self._step, None)
+        self._engine._schedule(self._engine.now, self._step_cb, None)
 
-    def _step(self, value: Any) -> None:
-        try:
-            yielded = self._gen.send(value)
-        except StopIteration as stop:
-            self._done.fire(stop.value)
-            return
-        if not isinstance(yielded, Waitable):
-            raise SimulationError(
-                f"process {self.name!r} yielded {type(yielded).__name__}; "
-                "processes must yield Timeout/Signal/AllOf/Process"
-            )
-        yielded._subscribe(self._engine, self._step)
+    def _make_step(self) -> Callable[[Any], None]:
+        send = self._gen.send
+        eng = self._engine
+        heap = eng._heap  # never reassigned (tombstones avoid heap rebuilds)
+        push = _heappush
+
+        def step(value: Any) -> None:
+            try:
+                yielded = send(value)
+            except StopIteration as stop:
+                self._finished = True
+                self._result = stop.value
+                if self._done is not None:
+                    self._done.fire(stop.value)
+                return
+            # Type dispatch, commonest waitables first: Timeout and Signal
+            # resume straight through the heap (inlined _schedule), skipping
+            # the generic _subscribe double dispatch.
+            cls = yielded.__class__
+            if cls is float or cls is int:
+                # Zero-allocation timeout: `yield d` == `yield Timeout(d)`
+                # with a None payload.  Negative delays land in the past and
+                # are rejected by the drain loop's monotonicity check.
+                eng._seq = seq = eng._seq + 1
+                push(heap, (eng.now + yielded, seq, step, None))
+            elif cls is Timeout:
+                eng._seq = seq = eng._seq + 1
+                push(heap, (eng.now + yielded.delay, seq, step, yielded.value))
+            elif cls is Signal:
+                if eng is not yielded._engine:
+                    raise SimulationError("signal subscribed from a foreign engine")
+                if yielded._fired:
+                    eng._seq = seq = eng._seq + 1
+                    push(heap, (eng.now, seq, step, yielded._payload))
+                else:
+                    yielded._waiters.append(step)
+            elif isinstance(yielded, Waitable):
+                yielded._subscribe(eng, step)
+            else:
+                raise SimulationError(
+                    f"process {self.name!r} yielded {type(yielded).__name__}; "
+                    "processes must yield a delay number or "
+                    "Timeout/Signal/AllOf/Process"
+                )
+
+        return step
+
+    def _join_signal(self) -> Signal:
+        if self._done is None:
+            self._done = Signal(self._engine, name=self.name + ".done")
+            if self._finished:
+                # Late subscriber to an already-finished process: fire now
+                # so _subscribe resumes it at the current sim time.
+                self._done.fire(self._result)
+        return self._done
 
     def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
-        self._done._subscribe(engine, callback)
+        self._join_signal()._subscribe(engine, callback)
+
+
+class EventHandle:
+    """A cancellable scheduled event (returned by :meth:`Engine.schedule`).
+
+    ``cancel()`` tombstones the event: the heap entry stays in place and
+    the drain loop discards it when popped — O(1) cancellation with no
+    heap rebuild.
+    """
+
+    __slots__ = ("_engine", "seq", "when", "_cancelled")
+
+    def __init__(self, engine: "Engine", seq: int, when: float):
+        self._engine = engine
+        self.seq = seq
+        self.when = when
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns False if it already ran or was
+        already cancelled (cancellation is idempotent)."""
+        if self._cancelled:
+            return False
+        self._cancelled = True
+        return self._engine._tombstone(self.seq, self.when)
 
 
 class Engine:
     """The event loop.  All times are simulated seconds, starting at 0."""
 
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_daemon_pending", "_tombstones")
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[float, int, Callable[[Any], None], Any]] = []
         self._seq = 0
         self._events_processed = 0
         self._daemon_pending = 0  # scheduled call_every ticks (see below)
+        #: Tombstoned seqs: cancelled events awaiting discard-on-pop.
+        self._tombstones: Set[int] = set()
 
     # -- raw callback scheduling --------------------------------------
+
+    def _schedule(self, when: float, fn: Callable[[Any], None], arg: Any) -> int:
+        """Hot-path scheduling (one-arg callback protocol, no validation);
+        returns the event seq."""
+        self._seq = seq = self._seq + 1
+        _heappush(self._heap, (when, seq, fn, arg))
+        return seq
+
+    def _tombstone(self, seq: int, when: float) -> bool:
+        """Mark a scheduled seq dead; returns False if it already ran
+        (events in the past are gone from the heap, so adding a tombstone
+        for them would leave it stale forever).  An event scheduled for
+        the *current* timestamp may or may not have run yet, so that rare
+        boundary pays an O(n) liveness scan; future events are always
+        still in the heap and tombstone in O(1)."""
+        if when < self.now or seq > self._seq:
+            return False
+        if when > self.now:
+            # Strictly in the future: guaranteed still in the heap.
+            self._tombstones.add(seq)
+            return True
+        # Boundary: scheduled for the current timestamp, may already have
+        # run this instant — pay a (rare) liveness scan.
+        for entry in self._heap:
+            if entry[1] == seq:
+                self._tombstones.add(seq)
+                return True
+        return False
+
+    def _pack(self, fn: Callable[..., None], args: Tuple[Any, ...]):
+        """Adapt an external ``fn(*args)`` callback to the one-arg protocol."""
+        if not args:
+            return _invoke0, fn
+        if len(args) == 1:
+            return fn, args[0]
+        return _invoke_n, (fn, args)
 
     def call_in(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` after ``delay`` seconds (FIFO at ties)."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, lambda: fn(*args)))
+        cb, arg = self._pack(fn, args)
+        self._schedule(self.now + delay, cb, arg)
 
     def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
         if when < self.now:
             raise SimulationError(f"cannot schedule into the past: {when} < {self.now}")
-        self.call_in(when - self.now, fn, *args)
+        cb, arg = self._pack(fn, args)
+        self._schedule(when, cb, arg)
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Like :meth:`call_in`, but returns a cancellable handle whose
+        ``cancel()`` tombstones the pending event in O(1)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        when = self.now + delay
+        cb, arg = self._pack(fn, args)
+        return EventHandle(self, self._schedule(when, cb, arg), when)
 
     def call_every(self, interval: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` every ``interval`` seconds as a *daemon*: the tick
@@ -200,7 +371,7 @@ class Engine:
             self._daemon_pending -= 1
             fn()
             # Reschedule only if real work remains beyond other daemon ticks.
-            if len(self._heap) > self._daemon_pending:
+            if self.pending_events > self._daemon_pending:
                 self._daemon_pending += 1
                 self.call_in(interval, tick)
 
@@ -231,32 +402,73 @@ class Engine:
 
     def step(self) -> bool:
         """Run one event; returns False when the queue is empty."""
-        if not self._heap:
-            return False
-        when, _seq, thunk = heapq.heappop(self._heap)
-        if when < self.now:
-            raise SimulationError("event heap corrupted: time went backwards")
-        self.now = when
-        self._events_processed += 1
-        thunk()
-        return True
+        heap = self._heap
+        tombstones = self._tombstones
+        while heap:
+            when, seq, fn, arg = _heappop(heap)
+            if tombstones and seq in tombstones:
+                tombstones.discard(seq)
+                continue
+            if when < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = when
+            self._events_processed += 1
+            fn(arg)
+            return True
+        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain events (optionally only up to time ``until``); returns now."""
+        if until is None and max_events is None:
+            # Fast drain: the inlined loop over local refs is what every
+            # full simulation pays per event (see repro.bench.perf).
+            heap = self._heap
+            tombstones = self._tombstones
+            pop = _heappop
+            processed = 0
+            try:
+                while heap:
+                    when, seq, fn, arg = pop(heap)
+                    if tombstones and seq in tombstones:
+                        tombstones.discard(seq)
+                        continue
+                    if when < self.now:
+                        raise SimulationError(
+                            "event heap corrupted: time went backwards"
+                        )
+                    self.now = when
+                    processed += 1
+                    fn(arg)
+            finally:
+                self._events_processed += processed
+            return self.now
         budget = max_events if max_events is not None else float("inf")
         while self._heap and budget > 0:
-            if until is not None and self._heap[0][0] > until:
+            if until is not None and self._next_live_when() > until:
                 self.now = until
                 return self.now
-            self.step()
-            budget -= 1
+            if self.step():
+                budget -= 1
         if until is not None and until > self.now:
             self.now = until
         return self.now
 
+    def _next_live_when(self) -> float:
+        """Timestamp of the next non-tombstoned event (inf if none)."""
+        heap = self._heap
+        tombstones = self._tombstones
+        while heap:
+            when, seq = heap[0][0], heap[0][1]
+            if tombstones and seq in tombstones:
+                _heappop(heap)
+                tombstones.discard(seq)
+                continue
+            return when
+        return float("inf")
+
     @property
     def pending_events(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - len(self._tombstones)
 
     @property
     def events_processed(self) -> int:
@@ -268,9 +480,12 @@ class Resource:
 
     ``acquire()`` returns a :class:`Signal` the caller yields on; the
     payload is an opaque grant token that must be passed to ``release``.
+    Uncontended acquires reuse one shared pre-fired grant signal, so the
+    fast path allocates nothing (the incast hot loop acquires and
+    releases one lane per message).
     """
 
-    __slots__ = ("_engine", "_capacity", "_in_use", "_queue", "name")
+    __slots__ = ("_engine", "_capacity", "_in_use", "_queue", "_granted", "name")
 
     def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
         if capacity < 1:
@@ -280,6 +495,11 @@ class Resource:
         self._in_use = 0
         self._queue: List[Signal] = []
         self.name = name
+        # Shared immediate-grant signal: fired signals are immutable, so
+        # every uncontended acquire can hand back the same one.
+        self._granted = Signal(engine, name=name + ".grant")
+        self._granted._fired = True
+        self._granted._payload = self
 
     @property
     def capacity(self) -> int:
@@ -295,12 +515,11 @@ class Resource:
 
     def acquire(self) -> Signal:
         """Request the resource; yield the returned signal to wait for grant."""
-        sig = Signal(self._engine, name=f"{self.name}.grant")
         if self._in_use < self._capacity:
             self._in_use += 1
-            sig.fire(self)
-        else:
-            self._queue.append(sig)
+            return self._granted
+        sig = Signal(self._engine, name=self.name + ".grant")
+        self._queue.append(sig)
         return sig
 
     def release(self) -> None:
@@ -344,9 +563,10 @@ class Store:
 
     def get(self) -> Signal:
         """A signal fired with the next item (immediately if one is queued)."""
-        sig = Signal(self._engine, name=f"{self.name}.get")
+        sig = Signal(self._engine, name=self.name)
         if self._items:
-            sig.fire(self._items.pop(0))
+            sig._fired = True
+            sig._payload = self._items.pop(0)
         else:
             self._getters.append(sig)
         return sig

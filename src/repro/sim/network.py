@@ -13,10 +13,10 @@ All sizes are bytes, all rates bytes/second, all times seconds.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.sim.engine import Engine, Resource, Signal, Store, Timeout
+from repro.sim.engine import Engine, Resource, Signal, Store
 
 
 @dataclass(frozen=True)
@@ -36,19 +36,21 @@ class NicSpec:
         return self.overhead_s + size_bytes / self.bandwidth_Bps
 
 
-_msg_ids = itertools.count()
-
-
 @dataclass
 class Message:
-    """One transfer on the wire."""
+    """One transfer on the wire.
+
+    ``msg_id`` is assigned by :meth:`Network.send` from a per-``Network``
+    counter, so identically-seeded runs in one process see identical id
+    streams (a module-global counter would leak state across runs).
+    """
 
     src: str
     dst: str
     size_bytes: int
     tag: str = ""
     payload: Any = None
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    msg_id: int = -1
     send_time: float = -1.0
     deliver_time: float = -1.0
 
@@ -68,6 +70,16 @@ class Endpoint:
         self.messages_received = 0
         self.tx_busy_s = 0.0  # cumulative time the TX lane spent serializing
         self.rx_busy_s = 0.0  # cumulative time the RX lane spent draining
+        #: Serialize-time memo: PS traffic repeats a handful of message
+        #: sizes (shard push/pull), so the per-size time is computed once.
+        self._ser_times: Dict[int, float] = {}
+
+    def serialize_time(self, size_bytes: int) -> float:
+        """Memoized :meth:`NicSpec.serialize_time` for this endpoint."""
+        t = self._ser_times.get(size_bytes)
+        if t is None:
+            t = self._ser_times[size_bytes] = self.nic.serialize_time(size_bytes)
+        return t
 
     def tx_utilization(self, now: float) -> float:
         """Fraction of elapsed sim time the TX lane was serializing."""
@@ -94,6 +106,7 @@ class Network:
         self.engine = engine
         self.latency_s = latency_s
         self.endpoints: Dict[str, Endpoint] = {}
+        self._msg_ids = itertools.count()
         self._fabric: Optional[Resource] = (
             Resource(engine, capacity=fabric_concurrency, name="fabric")
             if fabric_concurrency is not None
@@ -138,34 +151,45 @@ class Network:
             raise ValueError(f"negative message size: {size_bytes}")
         src_ep = self.endpoint(src)
         dst_ep = self.endpoint(dst)
-        msg = Message(src=src, dst=dst, size_bytes=size_bytes, tag=tag, payload=payload)
+        msg = Message(
+            src=src,
+            dst=dst,
+            size_bytes=size_bytes,
+            tag=tag,
+            payload=payload,
+            msg_id=next(self._msg_ids),
+        )
         msg.send_time = self.engine.now
         self.bytes_in_flight += size_bytes
         self.messages_in_flight += 1
-        done = self.engine.signal(name=f"deliver:{src}->{dst}:{tag}")
+        # Constant names: per-message f-strings are pure allocation churn
+        # in the incast hot path (the Message carries src/dst/tag already).
+        done = self.engine.signal(name="deliver")
         self.engine.spawn(
             self._transfer(msg, src_ep, dst_ep, done, deliver_to_inbox),
-            name=f"xfer:{msg.msg_id}",
+            name="xfer",
         )
         return done
 
     def _transfer(self, msg, src_ep, dst_ep, done, deliver_to_inbox):
+        # Bare-number yields are the engine's zero-allocation timeout path;
+        # uncontended acquires reuse the resource's shared grant signal.
         # Sender-side serialization (FIFO on the TX lane).
         yield src_ep.tx.acquire()
         if self._fabric is not None:
             yield self._fabric.acquire()
-        tx_hold = src_ep.nic.serialize_time(msg.size_bytes)
-        yield Timeout(tx_hold)
+        tx_hold = src_ep.serialize_time(msg.size_bytes)
+        yield tx_hold
         src_ep.tx.release()
         src_ep.tx_busy_s += tx_hold
         src_ep.bytes_sent += msg.size_bytes
         src_ep.messages_sent += 1
         # Propagation.
-        yield Timeout(self.latency_s)
+        yield self.latency_s
         # Receiver-side drain (incast point).
         yield dst_ep.rx.acquire()
-        rx_hold = dst_ep.nic.serialize_time(msg.size_bytes)
-        yield Timeout(rx_hold)
+        rx_hold = dst_ep.serialize_time(msg.size_bytes)
+        yield rx_hold
         dst_ep.rx.release()
         if self._fabric is not None:
             self._fabric.release()
@@ -188,7 +212,7 @@ class Network:
         src_ep = self.endpoint(src)
         dst_ep = self.endpoint(dst)
         return (
-            src_ep.nic.serialize_time(size_bytes)
+            src_ep.serialize_time(size_bytes)
             + self.latency_s
-            + dst_ep.nic.serialize_time(size_bytes)
+            + dst_ep.serialize_time(size_bytes)
         )

@@ -1,0 +1,122 @@
+"""Tests for the tracked perf-benchmark suite (repro.bench.perf)."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    SCHEMA,
+    PerfScale,
+    _rolled_history,
+    check_regression,
+    render,
+    run_suite,
+)
+
+#: Tiny scale: exercises every benchmark end to end in well under a second.
+TINY = PerfScale(
+    name="tiny",
+    engine_procs=4,
+    engine_iters=25,
+    net_senders=2,
+    net_msgs=4,
+    sanitizer_iters=6,
+    ml_steps=3,
+    telemetry_ops=2_000,
+    macro_workers=4,
+    macro_iters=1,
+    repeats=1,
+)
+
+EXPECTED_BENCHMARKS = {
+    "engine_events_per_sec",
+    "network_messages_per_sec",
+    "sanitizer_events_per_sec",
+    "ml_steps_per_sec",
+    "null_telemetry_overhead_pct",
+    "macro_fig7_wall_s",
+}
+
+
+def _doc(engine_rate: float) -> dict:
+    return {
+        "schema": SCHEMA,
+        "scale": "tiny",
+        "python": "3.11",
+        "benchmarks": {
+            "engine_events_per_sec": {
+                "value": engine_rate,
+                "unit": "events/s",
+                "detail": {},
+            }
+        },
+    }
+
+
+class TestSuite:
+    def test_run_suite_covers_every_benchmark(self):
+        doc = run_suite(TINY)
+        assert doc["schema"] == SCHEMA
+        assert doc["scale"] == "tiny"
+        assert set(doc["benchmarks"]) == EXPECTED_BENCHMARKS
+        for name, bench in doc["benchmarks"].items():
+            if name == "null_telemetry_overhead_pct":
+                assert bench["value"] >= 0.0
+            else:
+                assert bench["value"] > 0.0
+
+    def test_render_mentions_every_benchmark(self):
+        doc = run_suite(TINY)
+        text = render(doc)
+        for name in EXPECTED_BENCHMARKS:
+            assert name in text
+
+
+class TestRegressionGate:
+    def test_large_engine_drop_fails(self):
+        failures = check_regression(_doc(600_000.0), _doc(1_000_000.0), 0.30)
+        assert len(failures) == 1
+        assert "engine_events_per_sec" in failures[0]
+
+    def test_small_drop_passes(self):
+        assert check_regression(_doc(900_000.0), _doc(1_000_000.0), 0.30) == []
+
+    def test_improvement_passes(self):
+        assert check_regression(_doc(2_000_000.0), _doc(1_000_000.0), 0.30) == []
+
+    def test_missing_baseline_benchmark_passes(self):
+        baseline = {"schema": SCHEMA, "benchmarks": {}}
+        assert check_regression(_doc(1.0), baseline, 0.30) == []
+
+
+class TestHistoryRoll:
+    def test_no_previous_file_empty_history(self, tmp_path):
+        assert _rolled_history(tmp_path / "BENCH_perf.json") == []
+
+    def test_previous_document_becomes_history_entry(self, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        first = _doc(1_000_000.0)
+        out.write_text(json.dumps(first))
+        history = _rolled_history(out)
+        assert history == [first]
+
+    def test_history_accumulates_and_is_stripped(self, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        first = _doc(1.0)
+        second = dict(_doc(2.0), history=[first])
+        out.write_text(json.dumps(second))
+        history = _rolled_history(out)
+        assert history == [first, _doc(2.0)]
+
+    def test_corrupt_previous_file_ignored(self, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        out.write_text("{not json")
+        assert _rolled_history(out) == []
+
+
+class TestScales:
+    @pytest.mark.parametrize("field", list(PerfScale.__dataclass_fields__))
+    def test_tiny_scale_fields_positive(self, field):
+        value = getattr(TINY, field)
+        if field != "name":
+            assert value > 0

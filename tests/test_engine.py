@@ -170,7 +170,31 @@ class TestProcess:
         eng = Engine()
 
         def bad():
-            yield 42
+            yield "not a waitable"
+
+        eng.spawn(bad())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_yield_bare_number_is_timeout(self):
+        eng = Engine()
+        seen = []
+
+        def proc():
+            got = yield 1.5
+            seen.append((eng.now, got))
+            got = yield 2  # ints work too
+            seen.append((eng.now, got))
+
+        eng.spawn(proc())
+        eng.run()
+        assert seen == [(1.5, None), (3.5, None)]
+
+    def test_yield_negative_number_raises(self):
+        eng = Engine()
+
+        def bad():
+            yield -0.5
 
         eng.spawn(bad())
         with pytest.raises(SimulationError):
@@ -369,3 +393,60 @@ class TestCallEvery:
         # with no real work both samplers die after their first tick
         assert end <= 2.0
         assert eng.pending_events == 0
+
+
+class TestCancellation:
+    def test_cancel_prevents_execution(self):
+        eng = Engine()
+        seen = []
+        handle = eng.schedule(1.0, seen.append, "cancelled")
+        eng.schedule(2.0, seen.append, "kept")
+        assert handle.cancel()
+        eng.run()
+        assert seen == ["kept"]
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        handle = eng.schedule(1.0, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+        assert handle.cancelled
+
+    def test_cancel_after_run_returns_false(self):
+        eng = Engine()
+        seen = []
+        handle = eng.schedule(1.0, seen.append, "ran")
+        eng.run()
+        assert seen == ["ran"]
+        assert not handle.cancel()
+
+    def test_pending_events_excludes_tombstones(self):
+        eng = Engine()
+        handles = [eng.schedule(float(i + 1), lambda: None) for i in range(4)]
+        assert eng.pending_events == 4
+        handles[1].cancel()
+        handles[2].cancel()
+        assert eng.pending_events == 2
+        eng.run()
+        assert eng.pending_events == 0
+        assert eng.events_processed == 2
+
+    def test_cancelled_event_skipped_with_until(self):
+        eng = Engine()
+        seen = []
+        handle = eng.schedule(1.0, seen.append, "dead")
+        eng.schedule(3.0, seen.append, "alive")
+        handle.cancel()
+        eng.run(until=2.0)
+        assert seen == []
+        assert eng.now == pytest.approx(2.0)
+        eng.run()
+        assert seen == ["alive"]
+
+    def test_schedule_multi_arg_callback(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(0.5, lambda a, b: seen.append((a, b)), 1, 2)
+        eng.call_in(0.5, lambda a, b, c: seen.append((a, b, c)), 3, 4, 5)
+        eng.run()
+        assert seen == [(1, 2), (3, 4, 5)]

@@ -150,3 +150,20 @@ class TestProperties:
         lhs = float((cols * y).sum())
         rhs = float((x * col2im(y, x.shape, kh, kh, stride, pad)).sum())
         assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestDtypePreservation:
+    def test_col2im_preserves_float32(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        cols = im2col(x, 3, 3, 1, 1)
+        assert cols.dtype == np.float32
+        out = col2im(cols, x.shape, 3, 3, 1, 1)
+        assert out.dtype == np.float32
+
+    def test_col2im_preserves_float64(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, 6, 6))
+        cols = im2col(x, 2, 2, 2, 0)
+        out = col2im(cols, x.shape, 2, 2, 2, 0)
+        assert out.dtype == np.float64

@@ -75,6 +75,44 @@ class TestGauge:
         assert g.series() == ([], [])
         assert g.value() == 2.0
 
+    def test_series_ring_buffer_keeps_newest_points(self):
+        reg = MetricsRegistry("t", series_max_points=3)
+        now = [0.0]
+        reg.set_clock(lambda: now[0])
+        g = reg.gauge("depth")
+        for i in range(6):
+            now[0] = float(i)
+            g.set(float(i * 10), shard=0)
+        ts, vs = g.series(shard=0)
+        assert ts == [3.0, 4.0, 5.0]
+        assert vs == [30.0, 40.0, 50.0]
+        assert g.value(shard=0) == 50.0  # last value unaffected by the cap
+
+    def test_series_cap_is_per_label_set(self):
+        reg = MetricsRegistry("t", series_max_points=2)
+        g = reg.gauge("depth")
+        for i in range(4):
+            g.set(float(i), shard=0)
+        g.set(99.0, shard=1)
+        assert g.series(shard=0)[1] == [2.0, 3.0]
+        assert g.series(shard=1)[1] == [99.0]
+
+    def test_series_unbounded_when_cap_none(self):
+        reg = MetricsRegistry("t", series_max_points=None)
+        g = reg.gauge("depth")
+        for i in range(100):
+            g.set(float(i))
+        assert len(g.series()[1]) == 100
+
+    def test_invalid_series_cap_rejected(self):
+        reg = MetricsRegistry("t", series_max_points=0)
+        with pytest.raises(ValueError):
+            reg.gauge("depth")
+
+    def test_default_cap_bounds_memory(self):
+        reg = MetricsRegistry("t")
+        assert reg.series_max_points == MetricsRegistry.DEFAULT_SERIES_MAX_POINTS
+
 
 class TestHistogram:
     def test_bucket_counts_known_samples(self):
