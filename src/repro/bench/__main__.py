@@ -4,7 +4,13 @@ Usage:
     python -m repro.bench                 # all experiments, QUICK scale
     python -m repro.bench --scale paper   # near paper scale (slow)
     python -m repro.bench --only fig6 fig9
+    python -m repro.bench --jobs 4        # fan sweep arms across processes
     python -m repro.bench --list
+
+Sweep arms go through :mod:`repro.bench.pool`: ``--jobs N`` runs them on
+a process pool and the run cache under ``<save-dir>/.cache`` memoizes
+finished arms across invocations (``--no-cache`` to disable).  Output is
+byte-identical at any job count.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.bench.ablations import (
     ablation_eps_chunks,
@@ -33,31 +39,47 @@ from repro.bench.figures import (
     fig10_models,
     fig11_models,
 )
-from repro.bench.harness import PAPER, QUICK, Scale, emit_observability
+from repro.bench.harness import SCALES, Scale, emit_observability
+from repro.bench.pool import RunCache, SweepExecutor, WorkerFailure
 from repro.bench.tables import table1_model_matrix, table3_conditions, table4_grid
 from repro.bench.theory_bench import theory_bounds
 from repro.obs import MetricsRegistry, Observability, observed
+from repro.utils.tables import format_table
 
-EXPERIMENTS: Dict[str, Callable[[Scale], object]] = {
-    "table1": lambda scale: table1_model_matrix(),
-    "fig1": fig1_pmls_scaling,
-    "fig3": lambda scale: fig3_tradeoff_trace(),
-    "fig5": fig5_timeline,
-    "fig6": fig6_overlap,
-    "fig7": fig7_scalability,
-    "fig8": fig8_lazy_vs_soft,
-    "fig9": fig9_dpr_pairs,
-    "fig10": fig10_models,
-    "fig11": fig11_models,
-    "table3": table3_conditions,
-    "table4": table4_grid,
-    "theory": theory_bounds,
-    "ablation-stragglers": ablation_stragglers,
-    "ablation-eps": ablation_eps_chunks,
-    "ablation-shards": ablation_per_shard_models,
-    "ablation-filters": ablation_push_filters,
-    "ablation-specsync": ablation_specsync,
-    "ablation-network": ablation_network_sensitivity,
+#: Every experiment behind a uniform (scale, seed, pool) call shape.
+#: Non-sweep experiments (table1, fig3, fig5, theory) ignore the pool.
+EXPERIMENTS: Dict[str, Callable[[Scale, int, Optional[SweepExecutor]], object]] = {
+    "table1": lambda scale, seed, pool: table1_model_matrix(),
+    "fig1": lambda scale, seed, pool: fig1_pmls_scaling(scale, seed=seed, pool=pool),
+    "fig3": lambda scale, seed, pool: fig3_tradeoff_trace(),
+    "fig5": lambda scale, seed, pool: fig5_timeline(scale, seed=seed),
+    "fig6": lambda scale, seed, pool: fig6_overlap(scale, seed=seed, pool=pool),
+    "fig7": lambda scale, seed, pool: fig7_scalability(scale, seed=seed, pool=pool),
+    "fig8": lambda scale, seed, pool: fig8_lazy_vs_soft(scale, seed=seed, pool=pool),
+    "fig9": lambda scale, seed, pool: fig9_dpr_pairs(scale, seed=seed, pool=pool),
+    "fig10": lambda scale, seed, pool: fig10_models(scale, seed=seed, pool=pool),
+    "fig11": lambda scale, seed, pool: fig11_models(scale, seed=seed, pool=pool),
+    "table3": lambda scale, seed, pool: table3_conditions(scale, seed=seed, pool=pool),
+    "table4": lambda scale, seed, pool: table4_grid(scale, seed=seed, pool=pool),
+    "theory": lambda scale, seed, pool: theory_bounds(scale, seed=seed),
+    "ablation-stragglers": lambda scale, seed, pool: ablation_stragglers(
+        scale, seed=seed, pool=pool
+    ),
+    "ablation-eps": lambda scale, seed, pool: ablation_eps_chunks(
+        scale, seed=seed, pool=pool
+    ),
+    "ablation-shards": lambda scale, seed, pool: ablation_per_shard_models(
+        scale, seed=seed, pool=pool
+    ),
+    "ablation-filters": lambda scale, seed, pool: ablation_push_filters(
+        scale, seed=seed, pool=pool
+    ),
+    "ablation-specsync": lambda scale, seed, pool: ablation_specsync(
+        scale, seed=seed, pool=pool
+    ),
+    "ablation-network": lambda scale, seed, pool: ablation_network_sensitivity(
+        scale, seed=seed, pool=pool
+    ),
 }
 
 
@@ -66,12 +88,22 @@ def main(argv=None) -> int:
         prog="python -m repro.bench",
         description="FluentPS reproduction: run the paper's experiments.",
     )
-    parser.add_argument("--scale", choices=["quick", "paper"], default="quick")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; every sweep arm derives its own "
+                             "seed from (experiment, variant, --seed)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep arms (default 1: "
+                             "run inline; output is identical either way)")
     parser.add_argument("--only", nargs="*", metavar="ID",
                         help="experiment ids to run (default: all)")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument("--save-dir", default=None,
                         help="directory for JSON results (default: results/)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the run cache (always recompute arms)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="run-cache location (default: <save-dir>/.cache)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a Chrome/Perfetto trace of the last run "
                              "(open at https://ui.perfetto.dev)")
@@ -80,38 +112,98 @@ def main(argv=None) -> int:
                              "<trace stem>.metrics.json when --trace-out is set)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run the repro.analysis protocol sanitizer over "
-                             "every observed run; non-zero exit on violations")
+                             "every observed run (inside each worker process "
+                             "when --jobs > 1); non-zero exit on violations")
     args = parser.parse_args(argv)
 
     if args.list:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
-    scale = PAPER if args.scale == "paper" else QUICK
+    scale = SCALES[args.scale]
     wanted = args.only or list(EXPERIMENTS)
     unknown = [w for w in wanted if w not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}; use --list")
+    if args.trace_out and args.jobs > 1:
+        print("[warning: --trace-out with --jobs > 1 only captures runs "
+              "executed in the parent process; use --jobs 1 for full traces]")
 
     obs = None
     if args.trace_out or args.metrics_out or args.sanitize:
         obs = Observability(MetricsRegistry("bench"))
 
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir
+        if cache_dir is None:
+            import os
+
+            cache_dir = os.path.join(args.save_dir or "results", ".cache")
+        cache = RunCache(cache_dir)
+    pool = SweepExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        # Inline arms run under the parent's observability, which the
+        # end-of-run sanitizer pass already covers; workers need their own.
+        sanitize=args.sanitize and args.jobs > 1,
+    )
+
+    timings = []  # (name, wall_s, per-experiment PoolStats, ok)
+    failures = []
+
     def run_all() -> None:
         for name in wanted:
             t0 = time.time()
-            result = EXPERIMENTS[name](scale)
+            before = pool.stats.snapshot()
+            try:
+                result = EXPERIMENTS[name](scale, args.seed, pool)
+            except WorkerFailure as exc:
+                failures.append(name)
+                print(f"[{name}: FAILED — {exc}]")
+                if exc.remote_traceback:
+                    print(exc.remote_traceback.rstrip())
+                timings.append(
+                    (name, time.time() - t0, pool.stats.since(before), False)
+                )
+                print()
+                continue
             result.show()
+            stats = pool.stats.since(before)
+            timings.append((name, time.time() - t0, stats, True))
             try:
                 path = result.save(directory=args.save_dir)
                 print(f"[{name}: {time.time() - t0:.1f}s, saved {path}]\n")
             except OSError:
                 print(f"[{name}: {time.time() - t0:.1f}s]\n")
 
-    if obs is not None:
-        with observed(obs):
+    try:
+        if obs is not None:
+            with observed(obs):
+                run_all()
+        else:
             run_all()
+    finally:
+        pool.close()
+
+    rows = [
+        (name, round(wall, 2), s.tasks, s.cache_hits, s.cache_misses,
+         "ok" if ok else "FAILED")
+        for name, wall, s, ok in timings
+    ]
+    print(format_table(
+        ["experiment", "wall_s", "tasks", "cache_hits", "cache_misses", "status"],
+        rows,
+        title=f"== timing summary (jobs={args.jobs}, scale={scale.name}) ==",
+    ))
+    s = pool.stats
+    print(f"[pool: jobs={args.jobs} tasks={s.tasks} "
+          f"cache_hits={s.cache_hits} cache_misses={s.cache_misses}]")
+
+    if obs is not None:
         if args.trace_out or args.metrics_out:
             emit_observability(
                 obs, trace_out=args.trace_out, metrics_out=args.metrics_out
@@ -123,9 +215,7 @@ def main(argv=None) -> int:
             print(report.describe())
             if not report.ok:
                 return 1
-    else:
-        run_all()
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

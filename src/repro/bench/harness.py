@@ -8,6 +8,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.obs import Observability, default_metrics_path, dump_metrics, dump_trace
 from repro.obs.report import render_report
 from repro.utils.records import RunRecord, SeriesRecord
@@ -39,6 +41,19 @@ class Scale:
             raise ValueError("iteration counts must be >= 1")
 
 
+TINY = Scale(
+    name="tiny",
+    iters=40,
+    sim_iters=6,
+    worker_counts=(2, 4),
+    big_workers=6,
+    huge_workers=8,
+    dataset_train=300,
+    dataset_test=80,
+    eval_every=20,
+    dpr_iters=60,
+)
+
 QUICK = Scale(
     name="quick",
     iters=150,
@@ -66,19 +81,49 @@ PAPER = Scale(
 )
 
 
+#: Named presets the CLI and ``REPRO_SCALE`` resolve through.
+SCALES: Dict[str, Scale] = {"tiny": TINY, "quick": QUICK, "paper": PAPER}
+
+
 def resolve_scale(default: Scale = QUICK) -> Scale:
-    """Pick the scale from ``REPRO_SCALE`` (quick|paper), else ``default``."""
+    """Pick the scale from ``REPRO_SCALE`` (tiny|quick|paper), else ``default``."""
     name = os.environ.get("REPRO_SCALE", "").lower()
-    if name == "paper":
-        return PAPER
-    if name == "quick":
-        return QUICK
-    return default
+    return SCALES.get(name, default)
+
+
+def _json_scalar(value: object) -> object:
+    """Coerce one row value to a JSON-native scalar, losslessly.
+
+    Bools/ints/floats/strings/None pass through (NumPy scalars become
+    their Python equivalents); anything else falls back to ``str`` —
+    keep row values native if you want ``from_dict(to_dict(x)) == x``.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return str(value)
 
 
 @dataclass
 class ExperimentResult:
-    """Printable + serializable outcome of one figure/table experiment."""
+    """Printable + serializable outcome of one figure/table experiment.
+
+    Round-trippable: ``ExperimentResult.from_dict(x.to_dict()) == x`` and
+    ``from_json(x.to_json()) == x`` as long as row values are JSON-native
+    scalars (``add_row`` coerces them on the way in).  The run cache and
+    the sweep executor's worker processes both transport results this
+    way, so the guarantee is what makes ``--jobs N`` and warm-cache runs
+    byte-identical to a serial pass.
+    """
 
     experiment: str
     headers: List[str]
@@ -88,7 +133,7 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
 
     def add_row(self, *values: object) -> None:
-        self.rows.append(list(values))
+        self.rows.append([_json_scalar(v) for v in values])
 
     def record(self, name: str, **metrics: float) -> RunRecord:
         rec = RunRecord(name=name, metrics={k: float(v) for k, v in metrics.items()})
@@ -116,15 +161,40 @@ class ExperimentResult:
     def show(self) -> None:
         print(self.render())
 
+    def merge_fragment(self, fragment: "ExperimentResult") -> None:
+        """Absorb a sweep arm's rows/records/series/notes, in order."""
+        self.rows.extend(fragment.rows)
+        self.records.extend(fragment.records)
+        self.series.extend(fragment.series)
+        self.notes.extend(fragment.notes)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "experiment": self.experiment,
             "headers": list(self.headers),
-            "rows": [[str(v) for v in row] for row in self.rows],
+            "rows": [[_json_scalar(v) for v in row] for row in self.rows],
             "records": [r.to_dict() for r in self.records],
             "series": [s.to_dict() for s in self.series],
             "notes": list(self.notes),
         }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            experiment=str(d["experiment"]),
+            headers=[str(h) for h in d.get("headers", [])],
+            rows=[list(row) for row in d.get("rows", [])],
+            records=[RunRecord.from_dict(r) for r in d.get("records", [])],
+            series=[SeriesRecord.from_dict(s) for s in d.get("series", [])],
+            notes=[str(n) for n in d.get("notes", [])],
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
 
     def save(self, directory: Optional[str] = None) -> Path:
         directory = directory or os.environ.get("REPRO_RESULTS_DIR", "results")

@@ -17,7 +17,11 @@ that speed down as numbers a PR can be held to:
   null observability backend is active, reported as a percentage of one
   engine event's cost (the "zero-cost when off" contract);
 - **macro** — one Fig-7-shaped timing-only run at 128 workers, wall
-  clock plus sustained events/second.
+  clock plus sustained events/second;
+- **sweep** — wall clock of a small experiment sweep (fig7 + fig9)
+  through the :mod:`repro.bench.pool` executor at ``--jobs N`` vs
+  ``--jobs 1``, cache disabled — the number the parallel harness is
+  held to.
 
 Usage::
 
@@ -397,6 +401,53 @@ def bench_macro(scale: PerfScale) -> BenchResult:
 
 
 # ---------------------------------------------------------------------------
+# sweep: parallel harness wall clock vs serial
+# ---------------------------------------------------------------------------
+
+
+def bench_sweep(scale: PerfScale) -> BenchResult:
+    """Wall clock of a fig7+fig9 sweep through the pool executor.
+
+    Runs the same experiment set once at ``jobs=1`` (inline) and once at
+    ``jobs=min(4, cpus)`` with the cache disabled, and reports the
+    parallel wall time with the serial time and speedup as detail.  On a
+    single-core machine the speedup hovers around (or below, from pool
+    overhead) 1x — ``cpus`` in the detail says which regime the number
+    came from.
+    """
+    import os
+
+    from repro.bench import figures
+    from repro.bench.harness import QUICK as BENCH_QUICK
+    from repro.bench.harness import TINY as BENCH_TINY
+    from repro.bench.pool import SweepExecutor
+
+    bench_scale = BENCH_QUICK if scale.name == "full" else BENCH_TINY
+    jobs = min(4, os.cpu_count() or 1)
+
+    def run_at(n_jobs: int) -> float:
+        with SweepExecutor(jobs=n_jobs) as pool:
+            t0 = time.perf_counter()
+            figures.fig7_scalability(bench_scale, pool=pool)
+            figures.fig9_dpr_pairs(bench_scale, pool=pool)
+            return time.perf_counter() - t0
+
+    serial = min(run_at(1) for _ in range(max(1, scale.repeats)))
+    parallel = min(run_at(jobs) for _ in range(max(1, scale.repeats)))
+    return BenchResult(
+        "sweep_wall_s",
+        parallel,
+        "s",
+        {
+            "jobs": jobs,
+            "jobs1_wall_s": serial,
+            "speedup": serial / max(parallel, 1e-9),
+            "cpus": os.cpu_count() or 1,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # suite driver
 # ---------------------------------------------------------------------------
 
@@ -411,6 +462,7 @@ def run_suite(scale: PerfScale) -> Dict[str, object]:
     results.append(bench_ml(scale))
     results.append(bench_null_telemetry(scale, engine.value))
     results.append(bench_macro(scale))
+    results.append(bench_sweep(scale))
     return {
         "schema": SCHEMA,
         "scale": scale.name,

@@ -1,4 +1,10 @@
-"""Experiment functions for the paper's tables (I, III, IV)."""
+"""Experiment functions for the paper's tables (I, III, IV).
+
+Table III and Table IV are sweeps: each model (Table III) and each
+(workload, execution, P) cell (Table IV) runs as a module-level *arm*
+submitted through the :class:`~repro.bench.pool.SweepExecutor`, with a
+per-arm seed from :func:`~repro.bench.pool.derive_task_seed`.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.bench.harness import ExperimentResult, Scale
+from repro.bench.pool import RunTask, SweepExecutor, derive_task_seed, run_sweep
 from repro.bench.workloads import blobs_task, null_step, null_task_spec, workload_for
 from repro.core.api import ParameterServerSystem
 from repro.core.driver import VirtualClockDriver
@@ -18,6 +25,7 @@ from repro.core.models import (
     drop_stragglers,
     dsps,
     dynamic_pssp,
+    make_model,
     pssp,
     ssp,
 )
@@ -55,41 +63,68 @@ def table1_model_matrix() -> ExperimentResult:
     return result
 
 
-def table3_conditions(scale: Scale, seed: int = 0) -> ExperimentResult:
+#: Table III sweep: display name → ``make_model`` spec (kind, kwargs).
+TABLE3_MODEL_SPECS = (
+    ("bsp", "bsp", {}),
+    ("ssp(2)", "ssp", {"s": 2}),
+    ("asp", "asp", {}),
+    ("dsps", "dsps", {"s0": 2, "s_min": 1, "s_max": 8, "window": 32}),
+    ("drop_stragglers(6/8)", "drop_stragglers", {"n_t": 6}),
+    ("pssp(2,0.5)", "pssp", {"s": 2, "c": 0.5}),
+    ("dynamic_pssp(2,0.8)", "dynamic_pssp", {"s": 2, "alpha": 0.8}),
+)
+
+
+def _table3_arm(scale: Scale, name: str, kind: str, params: dict,
+                seed: int) -> ExperimentResult:
+    """One Table III model through the shared straggler scenario."""
+    frag = ExperimentResult(f"table3/{name}", headers=[])
+    n = 8
+    spec = null_task_spec()
+    sync = make_model(kind, n_workers=n, **params)
+    system = ParameterServerSystem(
+        spec, np.zeros(spec.total_elements), n, 1, sync,
+        ExecutionMode.LAZY, seed=seed,
+    )
+    driver = VirtualClockDriver(
+        system, null_step, max_iter=scale.dpr_iters,
+        compute_model=cpu_cluster_compute(n), seed=seed + 1,
+    )
+    r = driver.run()
+    m = r.metrics
+    frag.add_row(name, m.dprs, round(m.mean_staleness(), 3),
+                 m.max_staleness(), round(r.duration, 1))
+    frag.record(name, dprs=m.dprs, mean_staleness=m.mean_staleness(),
+                max_staleness=m.max_staleness(), duration=r.duration)
+    return frag
+
+
+def table3_conditions(
+    scale: Scale, seed: int = 0, pool: Optional[SweepExecutor] = None
+) -> ExperimentResult:
     """Behavioural verification of Table III: run each model through the
     same straggler scenario and report the staleness discipline it
     enforces (max over-frontier gap of answered pulls, DPR counts)."""
-    n = 8
-    spec = null_task_spec()
-    compute = cpu_cluster_compute(n)
     result = ExperimentResult(
         "Table III: model semantics under one straggler scenario",
         headers=["model", "dprs", "mean_staleness", "max_staleness", "duration_s"],
     )
-    models = [
-        ("bsp", bsp()),
-        ("ssp(2)", ssp(2)),
-        ("asp", asp()),
-        ("dsps", dsps(s0=2, s_min=1, s_max=8, window=32)),
-        ("drop_stragglers(6/8)", drop_stragglers(n, n_t=6)),
-        ("pssp(2,0.5)", pssp(2, 0.5)),
-        ("dynamic_pssp(2,0.8)", dynamic_pssp(2, 0.8)),
+    tasks = [
+        RunTask(
+            fn=_table3_arm,
+            kwargs=dict(
+                scale=scale, name=name, kind=kind, params=params,
+                # Paired: the table compares staleness discipline across
+                # models under *one* straggler scenario, so every model
+                # shares the same derived seed (common random numbers).
+                seed=derive_task_seed("table3", "scenario", seed),
+            ),
+            key=f"table3/{name}",
+        )
+        for name, kind, params in TABLE3_MODEL_SPECS
     ]
-    for name, sync in models:
-        system = ParameterServerSystem(
-            spec, np.zeros(spec.total_elements), n, 1, sync,
-            ExecutionMode.LAZY, seed=seed,
-        )
-        driver = VirtualClockDriver(
-            system, null_step, max_iter=scale.dpr_iters, compute_model=compute,
-            seed=seed + 1,
-        )
-        r = driver.run()
-        m = r.metrics
-        result.add_row(name, m.dprs, round(m.mean_staleness(), 3),
-                       m.max_staleness(), round(r.duration, 1))
-        result.record(name, dprs=m.dprs, mean_staleness=m.mean_staleness(),
-                      max_staleness=m.max_staleness(), duration=r.duration)
+    for frag in run_sweep(tasks, pool):
+        result.merge_fragment(frag)
     result.notes.append(
         "invariants: BSP max staleness 0; SSP(2) bounded; ASP unbounded but "
         "zero DPRs; PSSP staleness may exceed s (probabilistic passes)"
@@ -110,8 +145,69 @@ def _table4_sync(p, s: int) -> SyncModel:
     return pssp(s, float(p))
 
 
+def _table4_arm(scale: Scale, row: str, execution: str, p,
+                seed: int) -> ExperimentResult:
+    """One Table IV cell: (workload row, execution mode, pass probability)."""
+    frag = ExperimentResult(f"table4/{row}/{execution}/P{p}", headers=[])
+    dnn, ds_name = row.split("-")
+    n_classes = 100 if ds_name.endswith("100") else 10
+    if dnn == "alexnet":
+        n = scale.big_workers
+        cluster = cpu_cluster(n, n_servers=1)
+        compute = cpu_cluster_compute(n)
+        wl = workload_for("alexnet")
+        batch = max(1, 6400 // n)
+        s = 3
+        # Calibrated sync payload (see fig10_models): the paper's
+        # times imply ~128 KB/worker-iteration over the 1 Gbps server.
+        target_wire = 128e3
+    else:
+        n = min(32, scale.huge_workers)
+        cluster = gpu_cluster_p2(n, 8)
+        compute = gpu_cluster_compute()
+        wl = workload_for("resnet56")
+        batch = max(1, 4096 // n)
+        s = 2
+        target_wire = None  # full dense model (validated by Fig 8)
+    mode = ExecutionMode(execution)
+    task = blobs_task(
+        n, n_classes=n_classes,
+        n_train=scale.dataset_train, n_test=scale.dataset_test,
+        seed=seed,
+    )
+    cfg = SimConfig(
+        cluster=cluster,
+        max_iter=scale.iters,
+        sync=_table4_sync(p, s),
+        execution=mode,
+        task=task,
+        workload=wl,
+        wire_scale=(
+            target_wire / task.spec.total_bytes
+            if target_wire is not None
+            else None
+        ),
+        batch_per_worker=batch,
+        compute_model=compute,
+        seed=seed + 1,
+        eval_every=scale.eval_every,
+    )
+    r = run_fluentps(cfg)
+    acc = r.eval_by_iteration.final()
+    time_100 = 100.0 * r.duration / scale.iters
+    frag.add_row(row, mode.value, p, round(time_100, 2),
+                 round(acc, 4), round(r.dprs_per_100_iterations(), 1))
+    frag.record(
+        f"{row}_{mode.value}_P{p}",
+        time_per_100it=time_100, final_acc=acc,
+        dprs_per_100=r.dprs_per_100_iterations(),
+    )
+    return frag
+
+
 def table4_grid(scale: Scale, seed: int = 0,
-                workloads: Optional[List[str]] = None) -> ExperimentResult:
+                workloads: Optional[List[str]] = None,
+                pool: Optional[SweepExecutor] = None) -> ExperimentResult:
     """Table IV: {AlexNet, ResNet-56} × {CIFAR-10, CIFAR-100} × {soft,
     lazy} × P ∈ {0, 0.1, 0.3, 0.5, 1, dynamic}: time, accuracy, DPRs.
 
@@ -125,61 +221,24 @@ def table4_grid(scale: Scale, seed: int = 0,
         "Table IV: time / accuracy / DPRs across P and execution modes",
         headers=["workload", "execution", "P", "time_per_100it", "final_acc", "dprs_per_100it"],
     )
-    for row in rows_spec:
-        dnn, ds_name = row.split("-")
-        n_classes = 100 if ds_name.endswith("100") else 10
-        if dnn == "alexnet":
-            n = scale.big_workers
-            cluster = cpu_cluster(n, n_servers=1)
-            compute = cpu_cluster_compute(n)
-            wl = workload_for("alexnet")
-            batch = max(1, 6400 // n)
-            s = 3
-            # Calibrated sync payload (see fig10_models): the paper's
-            # times imply ~128 KB/worker-iteration over the 1 Gbps server.
-            target_wire = 128e3
-        else:
-            n = min(32, scale.huge_workers)
-            cluster = gpu_cluster_p2(n, 8)
-            compute = gpu_cluster_compute()
-            wl = workload_for("resnet56")
-            batch = max(1, 4096 // n)
-            s = 2
-            target_wire = None  # full dense model (validated by Fig 8)
-        for execution in (ExecutionMode.SOFT_BARRIER, ExecutionMode.LAZY):
-            for p in TABLE4_PS:
-                task = blobs_task(
-                    n, n_classes=n_classes,
-                    n_train=scale.dataset_train, n_test=scale.dataset_test,
-                    seed=seed,
-                )
-                cfg = SimConfig(
-                    cluster=cluster,
-                    max_iter=scale.iters,
-                    sync=_table4_sync(p, s),
-                    execution=execution,
-                    task=task,
-                    workload=wl,
-                    wire_scale=(
-                        target_wire / task.spec.total_bytes
-                        if target_wire is not None
-                        else None
-                    ),
-                    batch_per_worker=batch,
-                    compute_model=compute,
-                    seed=seed + 1,
-                    eval_every=scale.eval_every,
-                )
-                r = run_fluentps(cfg)
-                acc = r.eval_by_iteration.final()
-                time_100 = 100.0 * r.duration / scale.iters
-                result.add_row(row, execution.value, p, round(time_100, 2),
-                               round(acc, 4), round(r.dprs_per_100_iterations(), 1))
-                result.record(
-                    f"{row}_{execution.value}_P{p}",
-                    time_per_100it=time_100, final_acc=acc,
-                    dprs_per_100=r.dprs_per_100_iterations(),
-                )
+    tasks = [
+        RunTask(
+            fn=_table4_arm,
+            kwargs=dict(
+                scale=scale, row=row, execution=execution.value, p=p,
+                # Paired per workload row: execution modes and P values
+                # are compared against each other, so every cell of a row
+                # shares the same straggler draws.
+                seed=derive_task_seed("table4", row, seed),
+            ),
+            key=f"table4/{row}/{execution.value}/P{p}",
+        )
+        for row in rows_spec
+        for execution in (ExecutionMode.SOFT_BARRIER, ExecutionMode.LAZY)
+        for p in TABLE4_PS
+    ]
+    for frag in run_sweep(tasks, pool):
+        result.merge_fragment(frag)
     result.notes.append(
         "paper shape: time grows with P under soft barrier (ASP fastest, SSP "
         "slowest); lazy flattens the time spread and slashes DPRs; accuracy "

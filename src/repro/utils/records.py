@@ -8,6 +8,7 @@ to plain dicts so benches can dump JSON next to their printed tables.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -46,6 +47,13 @@ class RunRecord:
     def from_dict(cls, d: Dict[str, object]) -> "RunRecord":
         return cls(name=str(d["name"]), params=dict(d.get("params", {})),
                    metrics={k: float(v) for k, v in dict(d.get("metrics", {})).items()})
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        return cls.from_dict(json.loads(text))
 
 
 @dataclass
@@ -104,6 +112,13 @@ class SeriesRecord:
             x_label=str(d.get("x_label", "x")),
             y_label=str(d.get("y_label", "y")),
         )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SeriesRecord":
+        return cls.from_dict(json.loads(text))
 
 
 def merge_metrics(records: Sequence[RunRecord], key: str) -> List[float]:

@@ -23,22 +23,9 @@ from repro.bench.figures import (
     fig9_dpr_pairs,
     fig10_models,
 )
-from repro.bench.harness import Scale
+from repro.bench.harness import TINY
 from repro.bench.tables import table1_model_matrix, table3_conditions, table4_grid
 from repro.bench.theory_bench import theory_bounds
-
-TINY = Scale(
-    name="tiny",
-    iters=40,
-    sim_iters=6,
-    worker_counts=(2, 4),
-    big_workers=6,
-    huge_workers=8,
-    dataset_train=300,
-    dataset_test=80,
-    eval_every=20,
-    dpr_iters=60,
-)
 
 
 class TestFigureFunctions:

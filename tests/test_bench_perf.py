@@ -35,6 +35,7 @@ EXPECTED_BENCHMARKS = {
     "ml_steps_per_sec",
     "null_telemetry_overhead_pct",
     "macro_fig7_wall_s",
+    "sweep_wall_s",
 }
 
 
