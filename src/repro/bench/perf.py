@@ -182,6 +182,8 @@ def bench_network(scale: PerfScale) -> BenchResult:
     """Messages/second with N senders draining through one receiver NIC."""
     size = 64 * 1024
 
+    counters: Dict[str, float] = {}
+
     def run_once() -> Tuple[float, float]:
         eng = Engine()
         net = Network(eng, latency_s=50e-6)
@@ -200,6 +202,8 @@ def bench_network(scale: PerfScale) -> BenchResult:
         eng.run()
         dt = time.perf_counter() - t0
         assert sink.messages_received == scale.net_senders * scale.net_msgs
+        counters["fast_path_transfers"] = net.fast_path_transfers
+        counters["fallback_transfers"] = net.fallback_transfers
         return float(net.total_messages), dt
 
     rate, secs = _best(run_once, scale.repeats)
@@ -207,7 +211,11 @@ def bench_network(scale: PerfScale) -> BenchResult:
         "network_messages_per_sec",
         rate,
         "messages/s",
-        {"messages": scale.net_senders * scale.net_msgs, "best_run_s": secs},
+        {
+            "messages": scale.net_senders * scale.net_msgs,
+            "best_run_s": secs,
+            **counters,
+        },
     )
 
 
@@ -368,6 +376,7 @@ def bench_macro(scale: PerfScale) -> BenchResult:
     wall = float("inf")
     events = 0
     result = None
+    counters: Dict[str, float] = {}
     for _ in range(scale.repeats):
         cfg = SimConfig(
             cluster=cpu_cluster(n, n_servers=8),
@@ -385,6 +394,14 @@ def bench_macro(scale: PerfScale) -> BenchResult:
             wall = run_wall
             events = runner.engine.events_processed
             result = run_result
+            counters = {
+                "fast_path_transfers": runner.net.fast_path_transfers,
+                "fallback_transfers": runner.net.fallback_transfers,
+                "snapshot_copies": sum(s.snapshot_copies for s in runner.servers),
+                "snapshot_copies_avoided": sum(
+                    s.snapshot_copies_avoided for s in runner.servers
+                ),
+            }
     return BenchResult(
         "macro_fig7_wall_s",
         wall,
@@ -396,6 +413,7 @@ def bench_macro(scale: PerfScale) -> BenchResult:
             "events_per_sec": events / max(wall, 1e-9),
             "sim_duration_s": result.duration,
             "messages_on_wire": result.messages_on_wire,
+            **counters,
         },
     )
 
@@ -476,6 +494,27 @@ def _bench_value(doc: Dict[str, object], name: str) -> Optional[float]:
     return None if bench is None else float(bench["value"])
 
 
+def _detail_value(doc: Dict[str, object], name: str, key: str) -> Optional[float]:
+    bench = doc.get("benchmarks", {}).get(name)
+    if bench is None:
+        return None
+    v = bench.get("detail", {}).get(key)
+    return None if v is None else float(v)
+
+
+#: (name, higher_is_better) pairs the baseline comparison gates on.  The
+#: engine and network rates are hot-path numbers stable enough to gate;
+#: ``macro_fig7_wall_s`` (lower is better) guards the end-to-end
+#: co-simulation — it is the noisiest of the three, which is why the
+#: default allowance is a generous 30%.  The NumPy/ML numbers stay
+#: ungated: they track BLAS builds, not this repo's code.
+GATED_BENCHMARKS: List[Tuple[str, bool]] = [
+    ("engine_events_per_sec", True),
+    ("network_messages_per_sec", True),
+    ("macro_fig7_wall_s", False),
+]
+
+
 def check_regression(
     current: Dict[str, object],
     baseline: Dict[str, object],
@@ -483,21 +522,48 @@ def check_regression(
 ) -> List[str]:
     """Compare against a committed baseline document.
 
-    Returns failure messages; only ``engine_events_per_sec`` is gating
-    (absolute rates vary across machines — the engine bench is the one
-    the acceptance bar names).  Lower-is-better metrics gate nothing but
-    are reported by the caller.
+    Returns failure messages for every entry in :data:`GATED_BENCHMARKS`
+    that regressed more than ``max_regress``: a rate that dropped below
+    ``(1 - max_regress) * baseline``, or a wall time that grew past
+    ``(1 + max_regress) * baseline``.
+
+    Wall-time benchmarks are only directly comparable at equal scales
+    (CI runs ``--quick``, the committed record is full scale), so when
+    the two documents disagree on ``scale`` the macro gate compares the
+    scale-independent ``events_per_sec`` detail instead of the wall time.
     """
+    same_scale = current.get("scale") == baseline.get("scale")
     failures: List[str] = []
-    name = "engine_events_per_sec"
-    base, cur = _bench_value(baseline, name), _bench_value(current, name)
-    if base is not None and cur is not None and base > 0:
-        drop = (base - cur) / base
-        if drop > max_regress:
-            failures.append(
-                f"{name}: {cur:,.0f}/s is {drop:.0%} below baseline "
-                f"{base:,.0f}/s (limit {max_regress:.0%})"
-            )
+    for name, higher_is_better in GATED_BENCHMARKS:
+        if name == "macro_fig7_wall_s" and not same_scale:
+            base = _detail_value(baseline, name, "events_per_sec")
+            cur = _detail_value(current, name, "events_per_sec")
+            if base is not None and cur is not None and base > 0:
+                drop = (base - cur) / base
+                if drop > max_regress:
+                    failures.append(
+                        f"{name} (events_per_sec, cross-scale): {cur:,.0f} is "
+                        f"{drop:.0%} below baseline {base:,.0f} "
+                        f"(limit {max_regress:.0%})"
+                    )
+            continue
+        base, cur = _bench_value(baseline, name), _bench_value(current, name)
+        if base is None or cur is None or base <= 0:
+            continue
+        if higher_is_better:
+            drop = (base - cur) / base
+            if drop > max_regress:
+                failures.append(
+                    f"{name}: {cur:,.0f} is {drop:.0%} below baseline "
+                    f"{base:,.0f} (limit {max_regress:.0%})"
+                )
+        else:
+            growth = (cur - base) / base
+            if growth > max_regress:
+                failures.append(
+                    f"{name}: {cur:,.4g} is {growth:.0%} above baseline "
+                    f"{base:,.4g} (limit {max_regress:.0%})"
+                )
     return failures
 
 
@@ -549,6 +615,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     scale = QUICK if args.quick else FULL
+    # The baseline is read BEFORE --out writes: refreshing the committed
+    # record in place (--baseline X --out X) must gate against the previous
+    # document, not the one this run just wrote.
+    baseline = None
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+
     doc = run_suite(scale)
     print(render(doc))
 
@@ -559,16 +632,16 @@ def main(argv=None) -> int:
         out.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"[perf: wrote {out}]")
 
-    if args.baseline:
-        baseline = json.loads(Path(args.baseline).read_text())
+    if baseline is not None:
         failures = check_regression(doc, baseline, args.max_regress)
-        base_engine = _bench_value(baseline, "engine_events_per_sec")
-        cur_engine = _bench_value(doc, "engine_events_per_sec")
-        if base_engine and cur_engine:
-            print(
-                f"[perf: engine {cur_engine:,.0f}/s vs baseline "
-                f"{base_engine:,.0f}/s ({cur_engine / base_engine:.2f}x)]"
-            )
+        for name, _higher in GATED_BENCHMARKS:
+            base_v = _bench_value(baseline, name)
+            cur_v = _bench_value(doc, name)
+            if base_v and cur_v:
+                print(
+                    f"[perf: {name} {cur_v:,.4g} vs baseline "
+                    f"{base_v:,.4g} ({cur_v / base_v:.2f}x)]"
+                )
         for msg in failures:
             print(f"PERF REGRESSION: {msg}", file=sys.stderr)
         if failures:

@@ -206,6 +206,16 @@ class ShardServer:
 
         self.v_train = 0
         self.version = 0
+        # Copy-on-write snapshot cache: the first pull answered at a given
+        # ``version`` materializes one immutable copy; every later reply at
+        # the same version shares it.  ``handle_push``/``handle_restore``
+        # invalidate.  ``_snap_id`` tags each materialized copy so the
+        # sanitizer can check the version<->storage bijection (S016).
+        self._snap_cache: Optional[np.ndarray] = None
+        self._snap_version = -1
+        self._snap_id = 0
+        self.snapshot_copies = 0  # params.copy() calls actually made
+        self.snapshot_copies_avoided = 0  # replies served from the cache
         self.count: Dict[int, int] = defaultdict(int)
         self.callbacks: Dict[int, List[_BufferedPull]] = defaultdict(list)
         self.worker_progress: List[int] = [-1] * n_workers  # last pushed iteration
@@ -321,6 +331,7 @@ class ShardServer:
         if significance is not None:
             self.last_significance = float(significance)
         self.version += 1
+        self._snap_cache = None  # COW invalidation: state changed
         self.count[progress] += 1
         self.metrics.record_push()
         if self._obs_on:
@@ -485,6 +496,7 @@ class ShardServer:
         ``coin`` marks answers granted by a PSSP over-threshold coin pass."""
         waited = self.clock() - req.enqueue_time
         missing = max(0, req.progress + 1 - self.v_train)
+        params = self._snapshot()
         reply = PullReply(
             worker=req.worker,
             progress=req.progress,
@@ -492,7 +504,7 @@ class ShardServer:
             v_train=self.v_train,
             missing=missing,
             waited=waited,
-            params=self._snapshot(),
+            params=params,
         )
         self.metrics.record_response(missing=missing, waited=waited)
         if self._obs_on:
@@ -513,13 +525,41 @@ class ShardServer:
                 released=released, coin=coin,
                 kind=pull_condition_kind(self.pull_con),
                 s=_staleness_arg(s_at_eval), waited=waited,
+                version=self.version,
+                # Storage tag of the shared COW copy this reply carries
+                # (None when there is nothing to share) — lets the
+                # sanitizer assert same-version replies share storage and
+                # post-push replies do not (S016).
+                snap=self._snap_id if params is not None and self.snapshot_params else None,
             )
         req.respond(reply)
 
     def _snapshot(self) -> Optional[np.ndarray]:
+        """Parameters for a pull reply: one immutable copy per version.
+
+        The first reply at a given ``version`` copies ``self.params`` once
+        and marks the copy read-only; later same-version replies share that
+        storage (128 workers pulling one version cost 1 copy, not 128).
+        Pushes keep mutating ``self.params`` freely — the reply copy is
+        detached — and ``handle_push``/``handle_restore`` drop the cache.
+        With ``snapshot_params=False`` the live array is returned as
+        before (trusted callers, zero copies).
+        """
         if self.params is None:
             return None
-        return self.params.copy() if self.snapshot_params else self.params
+        if not self.snapshot_params:
+            return self.params
+        snap = self._snap_cache
+        if snap is None or self._snap_version != self.version:
+            snap = self.params.copy()
+            snap.flags.writeable = False
+            self._snap_cache = snap
+            self._snap_version = self.version
+            self._snap_id += 1
+            self.snapshot_copies += 1
+        else:
+            self.snapshot_copies_avoided += 1
+        return snap
 
     # -- Checkpoint restore (the only non-push/pull state transition) -------
 
@@ -551,6 +591,11 @@ class ShardServer:
             self.params[...] = params
         self.v_train = int(shard_state["v_train"])
         self.version = int(shard_state["version"])
+        # COW invalidation: a restore can reinstate the *same* version
+        # number with different parameter values, so a version-equality
+        # check alone would serve a stale snapshot — drop the cache.
+        self._snap_cache = None
+        self._snap_version = -1
         self.count.clear()
         self.count.update(
             {int(k): int(v) for k, v in dict(shard_state["count"]).items()}

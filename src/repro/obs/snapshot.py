@@ -9,7 +9,11 @@ time, the live quantities the paper's mechanisms act on:
   version, cumulative DPR count, and the age of the oldest buffered
   pull — the input signals any dynamic policy (DSPS/DSSP-style) needs;
 - network pressure: bytes in flight plus per-node TX/RX NIC utilization
-  (the incast bottleneck of §II-B, now visible as a series).
+  (the incast bottleneck of §II-B, now visible as a series);
+- fast-path health: how many transfers took the analytic lane scheduler
+  vs the process fallback, and how many per-pull parameter copies the
+  server's copy-on-write snapshot cache avoided (see
+  ``docs/PERFORMANCE.md``, "The wire fast path and snapshot sharing").
 
 Everything lands in gauge series keyed by ``shard``/``node`` labels, so
 a metrics dump carries one curve per shard per quantity.
@@ -49,6 +53,12 @@ class ServerSnapshotter:
         self._g_age = registry.gauge(
             "ps_buffered_pull_age_seconds", "age of the oldest buffered pull per shard"
         )
+        self._g_copies = registry.gauge(
+            "ps_snapshot_copies", "parameter copies materialized per shard (COW misses)"
+        )
+        self._g_copies_avoided = registry.gauge(
+            "ps_snapshot_copies_avoided", "pull replies served from the shared COW copy"
+        )
         self._g_inflight = registry.gauge(
             "net_bytes_in_flight", "bytes currently on the wire"
         )
@@ -58,6 +68,12 @@ class ServerSnapshotter:
         )
         self._g_rx = registry.gauge(
             "nic_rx_utilization", "fraction of time the RX lane was draining"
+        )
+        self._g_fast = registry.gauge(
+            "net_fast_path_transfers", "transfers scheduled by the analytic lane scheduler"
+        )
+        self._g_fallback = registry.gauge(
+            "net_fallback_transfers", "transfers run through the process fallback"
         )
         # Pre-bound label handles: scrape() runs every sampling interval
         # for every shard and node, so the kwargs->sorted-key label
@@ -70,11 +86,15 @@ class ServerSnapshotter:
                 self._g_version.labels(shard=s.shard_id),
                 self._g_dprs.labels(shard=s.shard_id),
                 self._g_age.labels(shard=s.shard_id),
+                self._g_copies.labels(shard=s.shard_id),
+                self._g_copies_avoided.labels(shard=s.shard_id),
             )
             for s in self.servers
         ]
         self._b_inflight = self._g_inflight.labels()
         self._b_net_bytes = self._g_net_bytes.labels()
+        self._b_fast = self._g_fast.labels()
+        self._b_fallback = self._g_fallback.labels()
         self._per_node = (
             [
                 (
@@ -91,15 +111,28 @@ class ServerSnapshotter:
     def scrape(self, now: float) -> None:
         """Record one sample of every scraped quantity at sim time ``now``."""
         self.scrapes += 1
-        for server, b_depth, b_frontier, b_version, b_dprs, b_age in self._per_server:
+        for (
+            server,
+            b_depth,
+            b_frontier,
+            b_version,
+            b_dprs,
+            b_age,
+            b_copies,
+            b_avoided,
+        ) in self._per_server:
             b_depth.set(server.buffered_pulls)
             b_frontier.set(server.v_train)
             b_version.set(server.version)
             b_dprs.set(server.metrics.dprs)
             b_age.set(oldest_buffered_age(server, now))
+            b_copies.set(server.snapshot_copies)
+            b_avoided.set(server.snapshot_copies_avoided)
         if self.network is not None:
             self._b_inflight.set(self.network.bytes_in_flight)
             self._b_net_bytes.set(self.network.total_bytes)
+            self._b_fast.set(self.network.fast_path_transfers)
+            self._b_fallback.set(self.network.fallback_transfers)
             for ep, b_tx, b_rx in self._per_node:
                 b_tx.set(ep.tx_utilization(now))
                 b_rx.set(ep.rx_utilization(now))

@@ -26,11 +26,17 @@ Hot-path design (measured by :mod:`repro.bench.perf`):
   the zero-allocation spelling of ``yield Timeout(number)`` used by the
   simulator's hottest loops;
 - :meth:`Engine.run` drains with an inlined loop over local references
-  rather than calling :meth:`step` per event.
+  rather than calling :meth:`step` per event, and raises the cyclic-GC
+  gen-0 threshold for the duration of a full drain (restored on exit):
+  the loop allocates short-lived tracked objects (messages, signals,
+  heap tuples) at MHz rates, and the interpreter default of ~700
+  allocations per collection costs ~15% of wall time in collector
+  sweeps over objects that refcounting alone reclaims.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Set, Tuple
 
@@ -38,6 +44,11 @@ ProcessGen = Generator["Waitable", Any, Any]
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+#: Gen-0 allocation threshold while :meth:`Engine.run` drains the heap.
+#: Collections still happen (memory stays bounded, unlike ``gc.disable``),
+#: just ~140x less often; ~100k small tracked objects is a few MB of arena.
+_GC_DRAIN_GEN0 = 100_000
 
 
 def _invoke0(fn: Callable[[], None]) -> None:
@@ -87,10 +98,14 @@ class Signal(Waitable):
     __slots__ = ("_engine", "_fired", "_payload", "_waiters", "name")
 
     def __init__(self, engine: "Engine", name: str = ""):
+        # NOTE: repro.sim.network.Network.send fills these slots manually
+        # (skipping this frame) — keep the two in sync.
         self._engine = engine
         self._fired = False
         self._payload: Any = None
-        self._waiters: List[Callable[[Any], None]] = []
+        # Lazily allocated: most signals fire with zero or one waiter, and
+        # the network fast path creates one signal per message.
+        self._waiters: Optional[List[Callable[[Any], None]]] = None
         self.name = name
 
     @property
@@ -111,16 +126,25 @@ class Signal(Waitable):
         self._payload = payload
         waiters = self._waiters
         if waiters:
-            self._waiters = []
+            # Inlined _schedule: one fire per delivered message makes this
+            # loop hot (repro.bench.perf network/macro numbers).
+            self._waiters = None
             eng = self._engine
+            now = eng.now
+            heap = eng._heap
+            seq = eng._seq
             for cb in waiters:
-                eng._schedule(eng.now, cb, payload)
+                seq += 1
+                _heappush(heap, (now, seq, cb, payload))
+            eng._seq = seq
 
     def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
         if engine is not self._engine:
             raise SimulationError("signal subscribed from a foreign engine")
         if self._fired:
             engine._schedule(engine.now, callback, self._payload)
+        elif self._waiters is None:
+            self._waiters = [callback]
         else:
             self._waiters.append(callback)
 
@@ -210,9 +234,11 @@ class Process(Waitable):
                 if self._done is not None:
                     self._done.fire(stop.value)
                 return
-            # Type dispatch, commonest waitables first: Timeout and Signal
-            # resume straight through the heap (inlined _schedule), skipping
-            # the generic _subscribe double dispatch.
+            # Type dispatch, commonest waitables first (bare-number delays,
+            # then signal waits — the network fast path resolves every send
+            # through a Signal): Timeout and Signal resume straight through
+            # the heap (inlined _schedule), skipping the generic _subscribe
+            # double dispatch.
             cls = yielded.__class__
             if cls is float or cls is int:
                 # Zero-allocation timeout: `yield d` == `yield Timeout(d)`
@@ -220,17 +246,19 @@ class Process(Waitable):
                 # are rejected by the drain loop's monotonicity check.
                 eng._seq = seq = eng._seq + 1
                 push(heap, (eng.now + yielded, seq, step, None))
-            elif cls is Timeout:
-                eng._seq = seq = eng._seq + 1
-                push(heap, (eng.now + yielded.delay, seq, step, yielded.value))
             elif cls is Signal:
                 if eng is not yielded._engine:
                     raise SimulationError("signal subscribed from a foreign engine")
                 if yielded._fired:
                     eng._seq = seq = eng._seq + 1
                     push(heap, (eng.now, seq, step, yielded._payload))
+                elif yielded._waiters is None:
+                    yielded._waiters = [step]
                 else:
                     yielded._waiters.append(step)
+            elif cls is Timeout:
+                eng._seq = seq = eng._seq + 1
+                push(heap, (eng.now + yielded.delay, seq, step, yielded.value))
             elif isinstance(yielded, Waitable):
                 yielded._subscribe(eng, step)
             else:
@@ -350,6 +378,23 @@ class Engine:
         cb, arg = self._pack(fn, args)
         self._schedule(when, cb, arg)
 
+    def post(self, when: float, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` at absolute time ``when`` on the internal
+        one-argument callback protocol.
+
+        This is the public spelling of the hot path that :meth:`call_at`
+        wraps: no adapter tuple is allocated and no handle is returned, so
+        per-event cost stays at one heap push.  ``fn`` *must* accept exactly
+        one positional argument (pack multiple values into a tuple).  The
+        network's analytic lane scheduler uses this protocol to post two
+        events per message instead of running a transfer process (it binds
+        the internal ``_schedule`` directly, which is this method minus the
+        past-check — only safe when the timestamp is provably ``>= now``).
+        """
+        if when < self.now:
+            raise SimulationError(f"cannot schedule into the past: {when} < {self.now}")
+        self._schedule(when, fn, arg)
+
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Like :meth:`call_in`, but returns a cancellable handle whose
         ``cancel()`` tombstones the pending event in O(1)."""
@@ -421,11 +466,17 @@ class Engine:
         """Drain events (optionally only up to time ``until``); returns now."""
         if until is None and max_events is None:
             # Fast drain: the inlined loop over local refs is what every
-            # full simulation pays per event (see repro.bench.perf).
+            # full simulation pays per event (see repro.bench.perf).  The
+            # gen-0 GC threshold is raised for the drain (see module
+            # docstring) and restored even if a callback raises.
             heap = self._heap
             tombstones = self._tombstones
             pop = _heappop
             processed = 0
+            saved_thresholds = gc.get_threshold()
+            gc.set_threshold(
+                max(saved_thresholds[0], _GC_DRAIN_GEN0), *saved_thresholds[1:]
+            )
             try:
                 while heap:
                     when, seq, fn, arg = pop(heap)
@@ -441,6 +492,7 @@ class Engine:
                     fn(arg)
             finally:
                 self._events_processed += processed
+                gc.set_threshold(*saved_thresholds)
             return self.now
         budget = max_events if max_events is not None else float("inf")
         while self._heap and budget > 0:

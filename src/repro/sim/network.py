@@ -8,15 +8,31 @@ is exactly why PS-Lite's imbalanced default slicing makes communication
 time dominate at scale (paper §II-B, Figure 6).
 
 All sizes are bytes, all rates bytes/second, all times seconds.
+
+Two scheduling paths produce identical timestamps (see
+``docs/PERFORMANCE.md``, "The wire fast path"):
+
+- **Analytic lane scheduler** (default): both NIC lanes are plain
+  capacity-1 FIFOs, so a transfer's timeline is a closed-form function of
+  each lane's ``free_at`` cursor.  ``send`` advances the TX cursor and
+  posts one event at TX completion; that event claims the RX cursor and
+  posts the delivery event.  Two heap events per message, no process.
+- **Process fallback**: a generator per message that acquires the lane
+  ``Resource`` objects explicitly.  Required when ``fabric_concurrency``
+  caps simultaneous transfers (the cursors cannot express a shared cap);
+  also selectable via ``Network(..., analytic=False)`` for differential
+  testing.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+from heapq import heappush as _heappush
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.engine import Engine, Resource, Signal, Store
+
+_SIGNAL_NEW = Signal.__new__
 
 
 @dataclass(frozen=True)
@@ -36,7 +52,7 @@ class NicSpec:
         return self.overhead_s + size_bytes / self.bandwidth_Bps
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One transfer on the wire.
 
@@ -55,8 +71,28 @@ class Message:
     deliver_time: float = -1.0
 
 
+_MESSAGE_NEW = Message.__new__
+
+
 class Endpoint:
     """A node's attachment point: NIC lanes plus a FIFO inbox."""
+
+    __slots__ = (
+        "node_id",
+        "nic",
+        "tx",
+        "rx",
+        "inbox",
+        "bytes_sent",
+        "bytes_received",
+        "messages_sent",
+        "messages_received",
+        "tx_busy_s",
+        "rx_busy_s",
+        "tx_free_at",
+        "rx_free_at",
+        "_ser_times",
+    )
 
     def __init__(self, engine: Engine, node_id: str, nic: NicSpec):
         self.node_id = node_id
@@ -70,6 +106,11 @@ class Endpoint:
         self.messages_received = 0
         self.tx_busy_s = 0.0  # cumulative time the TX lane spent serializing
         self.rx_busy_s = 0.0  # cumulative time the RX lane spent draining
+        #: Analytic lane cursors: earliest time each FIFO lane is free.
+        #: Only the analytic fast path reads/advances these; the process
+        #: fallback serializes on the ``Resource`` lanes above instead.
+        self.tx_free_at = 0.0
+        self.rx_free_at = 0.0
         #: Serialize-time memo: PS traffic repeats a handful of message
         #: sizes (shard push/pull), so the per-size time is computed once.
         self._ser_times: Dict[int, float] = {}
@@ -93,30 +134,73 @@ class Endpoint:
 class Network:
     """Point-to-point fabric connecting registered endpoints."""
 
+    __slots__ = (
+        "engine",
+        "latency_s",
+        "endpoints",
+        "analytic",
+        "total_bytes",
+        "total_messages",
+        "bytes_in_flight",
+        "messages_in_flight",
+        "fast_path_transfers",
+        "fallback_transfers",
+        "_next_msg_id",
+        "_fabric",
+        "_delivery_hooks",
+        "_tx_done_cb",
+        "_deliver_cb",
+    )
+
     def __init__(
         self,
         engine: Engine,
         latency_s: float = 50e-6,
         fabric_concurrency: Optional[int] = None,
+        analytic: Optional[bool] = None,
     ):
         """``fabric_concurrency`` optionally caps simultaneous transfers,
-        modelling an oversubscribed aggregate fabric."""
+        modelling an oversubscribed aggregate fabric.
+
+        ``analytic`` selects the scheduling path: ``None`` (default) picks
+        the analytic lane scheduler exactly when no fabric cap is set;
+        ``False`` forces the process fallback (differential testing);
+        ``True`` with a fabric cap is an error — lane cursors cannot model
+        a shared concurrency limit.
+        """
         if latency_s < 0:
             raise ValueError(f"latency must be >= 0, got {latency_s}")
+        if analytic and fabric_concurrency is not None:
+            raise ValueError("analytic lane scheduling cannot model fabric_concurrency")
         self.engine = engine
         self.latency_s = latency_s
         self.endpoints: Dict[str, Endpoint] = {}
-        self._msg_ids = itertools.count()
+        self._next_msg_id = 0  # per-Network: id streams reset per run
         self._fabric: Optional[Resource] = (
             Resource(engine, capacity=fabric_concurrency, name="fabric")
             if fabric_concurrency is not None
             else None
         )
+        #: Mutable per-send switch: flip to ``False`` before sending to
+        #: route traffic through the process fallback on an existing net.
+        self.analytic = (fabric_concurrency is None) if analytic is None else bool(analytic)
         self.total_bytes = 0
         self.total_messages = 0
         self.bytes_in_flight = 0  # sent but not yet delivered
         self.messages_in_flight = 0
+        #: Scheduling-path counters (scraped by ``repro.obs.snapshot``).
+        self.fast_path_transfers = 0
+        self.fallback_transfers = 0
         self._delivery_hooks: List[Callable[[Message], None]] = []
+        #: Hot-path bindings: one attribute load instead of a descriptor
+        #: walk per event.  The fast path pushes ``(when, seq, fn, arg)``
+        #: entries straight onto the engine heap (the body of
+        #: ``Engine._schedule``, inlined) — safe because every analytic
+        #: timestamp is ``max(now, cursor) + hold`` with non-negative
+        #: holds, so nothing lands in the past (:meth:`Engine.post` is the
+        #: checked public spelling of the same protocol).
+        self._tx_done_cb = self._fast_tx_done
+        self._deliver_cb = self._fast_deliver
 
     def add_node(self, node_id: str, nic: NicSpec) -> Endpoint:
         if node_id in self.endpoints:
@@ -149,57 +233,191 @@ class Network:
         (unless ``deliver_to_inbox=False`` for pure timing probes)."""
         if size_bytes < 0:
             raise ValueError(f"negative message size: {size_bytes}")
-        src_ep = self.endpoint(src)
-        dst_ep = self.endpoint(dst)
-        msg = Message(
-            src=src,
-            dst=dst,
-            size_bytes=size_bytes,
-            tag=tag,
-            payload=payload,
-            msg_id=next(self._msg_ids),
-        )
-        msg.send_time = self.engine.now
+        try:
+            src_ep = self.endpoints[src]
+            dst_ep = self.endpoints[dst]
+        except KeyError as missing:
+            raise KeyError(f"unknown node {missing.args[0]!r}") from None
+        engine = self.engine
+        now = engine.now
+        # Manual slot fills mirror Message.__init__ / Signal.__init__ (keep
+        # in sync): skipping the constructor frames saves ~100 ns per
+        # message, which is real money at incast rates.  The signal's
+        # constant name avoids per-message f-string churn (the Message
+        # carries src/dst/tag already).
+        msg = _MESSAGE_NEW(Message)
+        msg.src = src
+        msg.dst = dst
+        msg.size_bytes = size_bytes
+        msg.tag = tag
+        msg.payload = payload
+        msg.msg_id = mid = self._next_msg_id
+        self._next_msg_id = mid + 1
+        msg.send_time = now
+        msg.deliver_time = -1.0
         self.bytes_in_flight += size_bytes
         self.messages_in_flight += 1
-        # Constant names: per-message f-strings are pure allocation churn
-        # in the incast hot path (the Message carries src/dst/tag already).
-        done = self.engine.signal(name="deliver")
-        self.engine.spawn(
-            self._transfer(msg, src_ep, dst_ep, done, deliver_to_inbox),
-            name="xfer",
-        )
+        done = _SIGNAL_NEW(Signal)
+        done._engine = engine
+        done._fired = False
+        done._payload = None
+        done._waiters = None
+        done.name = "deliver"
+        if self.analytic:
+            # Analytic fast path: the TX lane is a capacity-1 FIFO, so
+            # this transfer starts serializing the instant the lane frees.
+            # max(now, free_at) + hold is the same float addition the
+            # process path performs via resume timestamps, so the cursors
+            # reproduce its timeline bit for bit.  rx_hold and arrival are
+            # precomputed here (both are pure functions of size and tx_end)
+            # so the TX-completion event does no lookups of its own; the
+            # serialize-time memo is inlined (same dict as
+            # :meth:`Endpoint.serialize_time`) to skip two calls per send.
+            self.fast_path_transfers += 1
+            ser = src_ep._ser_times
+            tx_hold = ser.get(size_bytes)
+            if tx_hold is None:
+                tx_hold = ser[size_bytes] = src_ep.nic.serialize_time(size_bytes)
+            ser = dst_ep._ser_times
+            rx_hold = ser.get(size_bytes)
+            if rx_hold is None:
+                rx_hold = ser[size_bytes] = dst_ep.nic.serialize_time(size_bytes)
+            tx_free = src_ep.tx_free_at
+            tx_end = (tx_free if tx_free > now else now) + tx_hold
+            src_ep.tx_free_at = tx_end
+            engine._seq = seq = engine._seq + 1
+            _heappush(
+                engine._heap,
+                (
+                    tx_end,
+                    seq,
+                    self._tx_done_cb,
+                    (
+                        msg,
+                        src_ep,
+                        dst_ep,
+                        done,
+                        deliver_to_inbox,
+                        tx_hold,
+                        rx_hold,
+                        tx_end + self.latency_s,
+                    ),
+                ),
+            )
+        else:
+            self.fallback_transfers += 1
+            self.engine.spawn(
+                self._transfer(msg, src_ep, dst_ep, done, deliver_to_inbox),
+                name="xfer",
+            )
         return done
+
+    def _fast_tx_done(self, packed) -> None:
+        """TX lane released (fast path): book TX stats, claim the RX lane.
+
+        Runs at the transfer's TX-completion instant.  Propagation latency
+        is a network-wide constant, so arrival order equals TX-completion
+        event order — claiming the RX cursor here reproduces the FIFO
+        arrival order the process path gets from ``Resource`` queueing.
+        (``arrival`` was precomputed at send time as ``tx_end + latency``;
+        the heap hands back ``tx_end`` bit-exact, so it equals the
+        ``engine.now + latency`` the process path computes here.)
+        """
+        msg, src_ep, dst_ep, done, deliver_to_inbox, tx_hold, rx_hold, arrival = packed
+        src_ep.tx_busy_s += tx_hold
+        src_ep.bytes_sent += msg.size_bytes
+        src_ep.messages_sent += 1
+        rx_free = dst_ep.rx_free_at
+        rx_end = (rx_free if rx_free > arrival else arrival) + rx_hold
+        dst_ep.rx_free_at = rx_end
+        # The packed tuple is reused verbatim for the delivery event (one
+        # fewer allocation per message); _fast_deliver ignores the TX slots.
+        engine = self.engine
+        engine._seq = seq = engine._seq + 1
+        _heappush(engine._heap, (rx_end, seq, self._deliver_cb, packed))
+
+    def _fast_deliver(self, packed) -> None:
+        """RX drain finished (fast path): book RX stats and deliver.
+
+        The delivery tail is inlined (kept in sync with :meth:`_deliver`,
+        which the process fallback uses), including the uncontended
+        ``Store.put`` append: per-message calls matter at incast rates.
+        """
+        msg, _src_ep, dst_ep, done, deliver_to_inbox, _tx_hold, rx_hold, _arrival = packed
+        size = msg.size_bytes
+        dst_ep.rx_busy_s += rx_hold
+        self.bytes_in_flight -= size
+        self.messages_in_flight -= 1
+        dst_ep.bytes_received += size
+        dst_ep.messages_received += 1
+        self.total_bytes += size
+        self.total_messages += 1
+        engine = self.engine
+        msg.deliver_time = engine.now
+        if deliver_to_inbox:
+            inbox = dst_ep.inbox
+            if inbox._getters:
+                inbox.put(msg)
+            else:
+                inbox._items.append(msg)
+        hooks = self._delivery_hooks
+        if hooks:
+            for hook in hooks:
+                hook(msg)
+        # Inlined Signal.fire (keep in sync): `done` is created unfired by
+        # send() and fired exactly once, here.
+        done._fired = True
+        done._payload = msg
+        waiters = done._waiters
+        if waiters:
+            done._waiters = None
+            now = engine.now
+            heap = engine._heap
+            seq = engine._seq
+            for cb in waiters:
+                seq += 1
+                _heappush(heap, (now, seq, cb, msg))
+            engine._seq = seq
 
     def _transfer(self, msg, src_ep, dst_ep, done, deliver_to_inbox):
         # Bare-number yields are the engine's zero-allocation timeout path;
         # uncontended acquires reuse the resource's shared grant signal.
-        # Sender-side serialization (FIFO on the TX lane).
-        yield src_ep.tx.acquire()
-        if self._fabric is not None:
-            yield self._fabric.acquire()
-        tx_hold = src_ep.serialize_time(msg.size_bytes)
-        yield tx_hold
-        src_ep.tx.release()
-        src_ep.tx_busy_s += tx_hold
-        src_ep.bytes_sent += msg.size_bytes
-        src_ep.messages_sent += 1
-        # Propagation.
-        yield self.latency_s
-        # Receiver-side drain (incast point).
-        yield dst_ep.rx.acquire()
-        rx_hold = dst_ep.serialize_time(msg.size_bytes)
-        yield rx_hold
-        dst_ep.rx.release()
-        if self._fabric is not None:
-            self._fabric.release()
-        dst_ep.rx_busy_s += rx_hold
+        try:
+            # Sender-side serialization (FIFO on the TX lane).
+            yield src_ep.tx.acquire()
+            if self._fabric is not None:
+                yield self._fabric.acquire()
+            tx_hold = src_ep.serialize_time(msg.size_bytes)
+            yield tx_hold
+            src_ep.tx.release()
+            src_ep.tx_busy_s += tx_hold
+            src_ep.bytes_sent += msg.size_bytes
+            src_ep.messages_sent += 1
+            # Propagation.
+            yield self.latency_s
+            # Receiver-side drain (incast point).
+            yield dst_ep.rx.acquire()
+            rx_hold = dst_ep.serialize_time(msg.size_bytes)
+            yield rx_hold
+            dst_ep.rx.release()
+            if self._fabric is not None:
+                self._fabric.release()
+            dst_ep.rx_busy_s += rx_hold
+        finally:
+            # A cancelled (GeneratorExit) or failing transfer must still
+            # take its bytes off the wire, or the in-flight gauges drift
+            # upward forever and the snapshot report lies.
+            self.bytes_in_flight -= msg.size_bytes
+            self.messages_in_flight -= 1
+        self._deliver(msg, dst_ep, done, deliver_to_inbox)
+
+    def _deliver(self, msg, dst_ep, done, deliver_to_inbox) -> None:
+        """Delivery tail for the process fallback (the fast path inlines
+        the same sequence in :meth:`_fast_deliver` — keep them in sync)."""
         dst_ep.bytes_received += msg.size_bytes
         dst_ep.messages_received += 1
         self.total_bytes += msg.size_bytes
         self.total_messages += 1
-        self.bytes_in_flight -= msg.size_bytes
-        self.messages_in_flight -= 1
         msg.deliver_time = self.engine.now
         if deliver_to_inbox:
             dst_ep.inbox.put(msg)
@@ -208,7 +426,15 @@ class Network:
         done.fire(msg)
 
     def transfer_time_estimate(self, src: str, dst: str, size_bytes: int) -> float:
-        """Uncontended end-to-end transfer time (analytic, for sizing)."""
+        """Uncontended end-to-end transfer time (analytic, for sizing).
+
+        Contract: this is the *uncontended* bound — it assumes the TX and
+        RX lanes are idle and, when ``fabric_concurrency`` is set, that a
+        fabric slot is free.  It equals the delivered latency exactly for
+        a lone transfer on an idle network (asserted by
+        ``tests/test_network.py``) and is a lower bound whenever lanes or
+        the fabric are contended; it never models queueing delay.
+        """
         src_ep = self.endpoint(src)
         dst_ep = self.endpoint(dst)
         return (

@@ -39,19 +39,29 @@ EXPECTED_BENCHMARKS = {
 }
 
 
-def _doc(engine_rate: float) -> dict:
+def _doc(engine_rate: float, scale: str = "tiny", **benchmarks) -> dict:
+    all_benchmarks = {
+        "engine_events_per_sec": {
+            "value": engine_rate,
+            "unit": "events/s",
+            "detail": {},
+        }
+    }
+    all_benchmarks.update(benchmarks)
     return {
         "schema": SCHEMA,
-        "scale": "tiny",
+        "scale": scale,
         "python": "3.11",
-        "benchmarks": {
-            "engine_events_per_sec": {
-                "value": engine_rate,
-                "unit": "events/s",
-                "detail": {},
-            }
-        },
+        "benchmarks": all_benchmarks,
     }
+
+
+def _net(rate: float) -> dict:
+    return {"value": rate, "unit": "messages/s", "detail": {}}
+
+
+def _macro(wall: float, events_per_sec: float = 0.0) -> dict:
+    return {"value": wall, "unit": "s", "detail": {"events_per_sec": events_per_sec}}
 
 
 class TestSuite:
@@ -88,6 +98,38 @@ class TestRegressionGate:
     def test_missing_baseline_benchmark_passes(self):
         baseline = {"schema": SCHEMA, "benchmarks": {}}
         assert check_regression(_doc(1.0), baseline, 0.30) == []
+
+    def test_network_drop_fails(self):
+        cur = _doc(1e6, network_messages_per_sec=_net(60_000.0))
+        base = _doc(1e6, network_messages_per_sec=_net(100_000.0))
+        failures = check_regression(cur, base, 0.30)
+        assert len(failures) == 1
+        assert "network_messages_per_sec" in failures[0]
+
+    def test_macro_wall_growth_fails_at_same_scale(self):
+        cur = _doc(1e6, macro_fig7_wall_s=_macro(1.5))
+        base = _doc(1e6, macro_fig7_wall_s=_macro(1.0))
+        failures = check_regression(cur, base, 0.30)
+        assert len(failures) == 1
+        assert "macro_fig7_wall_s" in failures[0]
+
+    def test_macro_wall_improvement_passes(self):
+        cur = _doc(1e6, macro_fig7_wall_s=_macro(0.4))
+        base = _doc(1e6, macro_fig7_wall_s=_macro(1.0))
+        assert check_regression(cur, base, 0.30) == []
+
+    def test_macro_cross_scale_compares_event_rate(self):
+        # CI runs --quick against the full-scale record: wall times are not
+        # comparable, so the gate falls back to events/sec (and a quick
+        # wall far below the full-scale wall must not mask a rate drop).
+        cur = _doc(1e6, scale="quick", macro_fig7_wall_s=_macro(0.1, 50_000.0))
+        base = _doc(1e6, scale="full", macro_fig7_wall_s=_macro(1.0, 200_000.0))
+        failures = check_regression(cur, base, 0.30)
+        assert len(failures) == 1
+        assert "events_per_sec" in failures[0]
+        # Healthy cross-scale rate: no failure despite different walls.
+        cur_ok = _doc(1e6, scale="quick", macro_fig7_wall_s=_macro(2.0, 190_000.0))
+        assert check_regression(cur_ok, base, 0.30) == []
 
 
 class TestHistoryRoll:

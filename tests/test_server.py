@@ -154,6 +154,76 @@ class TestPullSemantics:
         srv.handle_pull(0, 0, replies.append)
         assert replies[0].params is srv.params
 
+
+class TestCopyOnWriteSnapshots:
+    """One immutable parameter copy per version, shared across replies."""
+
+    def test_same_version_replies_share_storage(self):
+        srv = make_server(model=asp(), n=3, params=np.arange(4.0))
+        replies = []
+        for w in range(3):
+            srv.handle_push(w, 0)  # grad=None: version bumps, params don't
+        for w in range(3):
+            srv.handle_pull(w, 0, replies.append)
+        assert replies[0].params is replies[1].params is replies[2].params
+        assert srv.snapshot_copies == 1
+        assert srv.snapshot_copies_avoided == 2
+
+    def test_snapshot_is_read_only(self):
+        srv = make_server(model=asp(), n=1, params=np.zeros(3))
+        replies = []
+        srv.handle_push(0, 0)
+        srv.handle_pull(0, 0, replies.append)
+        assert replies[0].params.flags.writeable is False
+        with pytest.raises(ValueError):
+            replies[0].params[0] = 1.0
+        # The server's live array stays writable — pushes keep applying.
+        srv.handle_push(0, 1, grad=np.ones(3))
+
+    def test_push_invalidates_shared_copy(self):
+        srv = make_server(model=asp(), n=2, params=np.zeros(2))
+        replies = []
+        srv.handle_push(0, 0, grad=np.zeros(2))
+        srv.handle_pull(0, 0, replies.append)
+        srv.handle_push(1, 0, grad=np.full(2, 2.0))  # w += g / N with N=2
+        srv.handle_pull(1, 0, replies.append)
+        assert replies[0].params is not replies[1].params
+        np.testing.assert_array_equal(replies[0].params, np.zeros(2))
+        np.testing.assert_array_equal(replies[1].params, np.full(2, 1.0))
+        assert srv.snapshot_copies == 2
+        assert srv.snapshot_copies_avoided == 0
+
+    def test_restore_invalidates_even_at_same_version(self):
+        # A restore can reinstate the same version *number* with different
+        # parameter values; a version-equality check alone would hand out
+        # the stale cached copy.
+        srv = make_server(model=asp(), n=1, params=np.zeros(2))
+        replies = []
+        srv.handle_push(0, 0)
+        srv.handle_pull(0, 0, replies.append)
+        version = srv.version
+        srv.handle_restore(
+            {
+                "v_train": srv.v_train,
+                "version": version,
+                "worker_progress": [0],
+                "count": {0: 1},
+                "last_significance": 0.0,
+            },
+            params=np.full(2, 7.0),
+        )
+        srv.handle_pull(0, 0, replies.append)
+        assert srv.version == version
+        assert replies[1].params is not replies[0].params
+        np.testing.assert_array_equal(replies[1].params, np.full(2, 7.0))
+
+    def test_no_snapshot_mode_counts_nothing(self):
+        srv = make_server(model=asp(), n=1, params=np.zeros(2), snapshot_params=False)
+        srv.handle_push(0, 0)
+        srv.handle_pull(0, 0, lambda r: None)
+        assert srv.snapshot_copies == 0
+        assert srv.snapshot_copies_avoided == 0
+
     def test_pull_regression_rejected(self):
         srv = make_server(model=ssp(5), n=2)
         srv.handle_push(0, 0)
