@@ -35,7 +35,7 @@ from repro.analysis.sanitizer import (
     sanitize_observability,
     sanitize_run,
 )
-from repro.analysis.spans import check_trace_spans
+from repro.analysis.spans import check_causal_spans, check_trace_spans
 
 __all__ = [
     "PROTOCOL_EVENT_NAMES",
@@ -45,6 +45,7 @@ __all__ = [
     "ProtocolViolation",
     "SanitizerReport",
     "Violation",
+    "check_causal_spans",
     "check_trace_spans",
     "events_from_instants",
     "events_from_run",

@@ -526,7 +526,7 @@ def sanitize_events(
 
 def sanitize_run(capture, raise_on_violation: bool = False) -> SanitizerReport:
     """Sanitize one :class:`~repro.obs.RunCapture` (protocol events plus
-    the run's trace spans, when captured)."""
+    the run's trace spans and causal DAG, when captured)."""
     report = sanitize_events(
         events_from_run(capture), complete=getattr(capture, "complete", False)
     )
@@ -534,6 +534,11 @@ def sanitize_run(capture, raise_on_violation: bool = False) -> SanitizerReport:
         from repro.analysis.spans import check_trace_spans
 
         report.violations.extend(check_trace_spans(capture.trace))
+    causal = getattr(capture, "causal", None)
+    if causal is not None and getattr(causal, "spans", None):
+        from repro.analysis.spans import check_causal_spans
+
+        report.violations.extend(check_causal_spans(causal))
     if raise_on_violation:
         report.raise_if_violations()
     return report

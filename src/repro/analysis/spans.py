@@ -9,6 +9,18 @@ Complements the protocol replay with timeline-level invariants on the
 - SP02: one actor never runs two COMPUTE spans concurrently — a worker
   computes one iteration at a time (Algorithm 1's loop is sequential);
 - SP03: per actor, COMPUTE span iteration numbers never regress.
+
+It also validates the causal DAG recorded alongside the timeline (see
+:mod:`repro.obs.causal`):
+
+- CS01: every parent reference points at an earlier, existing span
+  (the trace is append-only, so causes always have smaller ids);
+- CS02: no span ends before it starts;
+- CS03: a span never *ends* before its cause completed — effects may
+  begin while the cause is in flight (a sync wait starts at the pull
+  request, long before the gating reply lands) but cannot finish first;
+- CS04: every span uses a known category (the blame attributor maps
+  categories to blame groups by name).
 """
 
 from __future__ import annotations
@@ -16,10 +28,14 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.sanitizer import Violation
+from repro.obs.causal import CATEGORIES
 from repro.sim.trace import SpanKind, TraceRecorder
 
 #: Tolerance for SP02 overlap: spans may share an endpoint exactly.
 _OVERLAP_EPS = 1e-12
+
+#: Tolerance for CS03 cause-completion ordering.
+CAUSAL_EPS = 1e-9
 
 
 def check_trace_spans(trace: TraceRecorder) -> List[Violation]:
@@ -68,4 +84,61 @@ def check_trace_spans(trace: TraceRecorder) -> List[Violation]:
                     )
                 )
             last_iteration[span.actor] = max(prev_iter, span.iteration)
+    return violations
+
+
+def check_causal_spans(causal) -> List[Violation]:
+    """Run the CS-series checks over one causal trace (or span list)."""
+    spans = getattr(causal, "spans", causal)
+    violations: List[Violation] = []
+    by_id = {s.id: s for s in spans}
+    known = set(CATEGORIES)
+    for span in spans:
+        if span.parent >= 0:
+            parent = by_id.get(span.parent)
+            if parent is None or span.parent >= span.id:
+                violations.append(
+                    Violation(
+                        code="CS01",
+                        message=(
+                            f"span {span.id} ({span.actor} {span.category}) "
+                            f"references parent {span.parent}, which is "
+                            + ("not earlier" if span.parent >= span.id else "missing")
+                        ),
+                    )
+                )
+                parent = None
+            if parent is not None and span.t1 < parent.t1 - CAUSAL_EPS:
+                violations.append(
+                    Violation(
+                        code="CS03",
+                        message=(
+                            f"span {span.id} ({span.actor} {span.category}) ends "
+                            f"at {span.t1} before its cause {parent.id} "
+                            f"({parent.actor} {parent.category}) completed at "
+                            f"{parent.t1}"
+                        ),
+                    )
+                )
+        if span.t1 < span.t0:
+            violations.append(
+                Violation(
+                    code="CS02",
+                    message=(
+                        f"causal span {span.id} ({span.actor} {span.category}) "
+                        f"has negative duration [{span.t0}, {span.t1}]"
+                    ),
+                )
+            )
+        if span.category not in known:
+            violations.append(
+                Violation(
+                    code="CS04",
+                    message=(
+                        f"causal span {span.id} ({span.actor}) has unknown "
+                        f"category {span.category!r}; expected one of "
+                        f"{sorted(known)}"
+                    ),
+                )
+            )
     return violations

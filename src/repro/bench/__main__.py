@@ -128,9 +128,17 @@ def main(argv=None) -> int:
     unknown = [w for w in wanted if w not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}; use --list")
-    if args.trace_out and args.jobs > 1:
-        print("[warning: --trace-out with --jobs > 1 only captures runs "
-              "executed in the parent process; use --jobs 1 for full traces]")
+    # With a pooled sweep the parent process never sees worker-side runs,
+    # so trace/metrics capture moves into the workers: each arm dumps its
+    # own artifacts into a sibling ".arms" directory.
+    obs_dir = None
+    if (args.trace_out or args.metrics_out) and args.jobs > 1:
+        from pathlib import Path
+
+        stem = Path(args.trace_out or args.metrics_out)
+        obs_dir = str(stem.with_name(stem.stem + ".arms"))
+        print(f"[--jobs {args.jobs}: per-arm traces/metrics will land in "
+              f"{obs_dir}/ — inspect with `python -m repro.obs {obs_dir}`]")
 
     obs = None
     if args.trace_out or args.metrics_out or args.sanitize:
@@ -150,6 +158,7 @@ def main(argv=None) -> int:
         # Inline arms run under the parent's observability, which the
         # end-of-run sanitizer pass already covers; workers need their own.
         sanitize=args.sanitize and args.jobs > 1,
+        obs_dir=obs_dir,
     )
 
     timings = []  # (name, wall_s, per-experiment PoolStats, ok)
@@ -205,8 +214,16 @@ def main(argv=None) -> int:
 
     if obs is not None:
         if args.trace_out or args.metrics_out:
+            trace_out = args.trace_out
+            if trace_out and obs.last_run is None:
+                # All traced runs happened inside pooled workers; their
+                # artifacts are already on disk under obs_dir.
+                print("[no run captured in the parent process; see the "
+                      f"per-arm traces under {obs_dir}/]" if obs_dir else
+                      "[no run captured; nothing to write to --trace-out]")
+                trace_out = None
             emit_observability(
-                obs, trace_out=args.trace_out, metrics_out=args.metrics_out
+                obs, trace_out=trace_out, metrics_out=args.metrics_out
             )
         if args.sanitize:
             from repro.analysis import sanitize_observability

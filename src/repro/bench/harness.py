@@ -216,17 +216,23 @@ def emit_observability(
 ) -> List[Path]:
     """Write the observability artifacts collected during a bench run.
 
-    Exports the *last* captured run as a Perfetto trace (``trace_out``),
-    the full metrics registry as JSON (``metrics_out``, defaulting to
+    Exports the *last* captured run as a Perfetto trace (``trace_out``,
+    with causal spans and flow arrows embedded), the full metrics
+    registry as JSON (``metrics_out``, defaulting to
     ``<trace stem>.metrics.json`` next to the trace), and prints the
-    human-readable report.  Returns the paths written.
+    human-readable report plus the critical-path blame table when the
+    run carried a causal trace.  Returns the paths written.
     """
     written: List[Path] = []
     run = obs.last_run
+    causal = getattr(run, "causal", None) if run is not None else None
     if trace_out:
         if run is None:
             raise ValueError("no run was captured; nothing to write to --trace-out")
-        dump_trace(trace_out, run.trace, run.instants, process_name=run.label)
+        dump_trace(
+            trace_out, run.trace, run.instants,
+            process_name=run.label, causal=causal,
+        )
         written.append(Path(trace_out))
         if metrics_out is None:
             metrics_out = str(default_metrics_path(trace_out))
@@ -234,6 +240,10 @@ def emit_observability(
         dump_metrics(metrics_out, obs.registry)
         written.append(Path(metrics_out))
     print(render_report(obs.registry, trace=run.trace if run else None))
+    if causal is not None and getattr(causal, "spans", None):
+        from repro.obs.causal import iteration_blames, render_blame_table
+
+        print(render_blame_table(iteration_blames(causal.spans), title=run.label))
     for path in written:
         print(f"[observability: wrote {path}]")
     return written

@@ -304,24 +304,27 @@ def bench_ml(scale: PerfScale) -> BenchResult:
 
 
 class _TelemetryStandIn:
-    """Mirrors ShardServer's cached ``_obs_on`` slot for the cost probe."""
+    """Mirrors the runtime's per-event null-telemetry guards for the cost
+    probe: ShardServer's cached ``_obs_on`` bool and the ``causal is None``
+    check the network's wire paths make before recording causal spans."""
 
-    __slots__ = ("_obs_on",)
+    __slots__ = ("_obs_on", "_causal")
 
     def __init__(self) -> None:
         self._obs_on = NULL_OBS.enabled
+        self._causal = None
 
 
 def bench_null_telemetry(scale: PerfScale, engine_rate: float) -> BenchResult:
     """Per-event null-backend telemetry cost as % of one engine event.
 
-    Emulates exactly the per-push instrumentation a :class:`ShardServer`
-    pays with observability disabled: one cached-bool guard (the server
-    caches ``obs.enabled`` at construction), behind which every emission
-    — instant-log record and pre-bound metric updates alike — is skipped
-    before any label formatting happens.  The headline number is that
-    cost divided by the engine's per-event cost — the acceptance bar is
-    <= 5%.
+    Emulates exactly the per-event instrumentation the runtime pays with
+    observability disabled: the server's cached-bool ``_obs_on`` guard
+    plus the network's ``causal is None`` guard, behind which every
+    emission — instant-log record, causal-span record, and pre-bound
+    metric updates alike — is skipped before any label formatting
+    happens.  The headline number is that cost divided by the engine's
+    per-event cost — the acceptance bar is <= 5%.
     """
     if NULL_OBS.enabled:
         raise AssertionError("null bundle must be disabled")
@@ -333,6 +336,8 @@ def bench_null_telemetry(scale: PerfScale, engine_rate: float) -> BenchResult:
         for _ in range(n):
             if srv._obs_on:
                 raise AssertionError("stand-in must be disabled")
+            if srv._causal is not None:
+                raise AssertionError("stand-in must have no causal trace")
         dt = time.perf_counter() - t0
         return float(n), dt
 
@@ -514,6 +519,12 @@ GATED_BENCHMARKS: List[Tuple[str, bool]] = [
     ("macro_fig7_wall_s", False),
 ]
 
+#: Absolute ceiling for ``null_telemetry_overhead_pct``.  A relative
+#: gate is meaningless for a number that should sit near zero (a 30%
+#: regression of 0.1% is still nothing), so the disabled-path contract
+#: is enforced as an absolute bound instead.
+NULL_TELEMETRY_MAX_PCT = 5.0
+
 
 def check_regression(
     current: Dict[str, object],
@@ -525,7 +536,9 @@ def check_regression(
     Returns failure messages for every entry in :data:`GATED_BENCHMARKS`
     that regressed more than ``max_regress``: a rate that dropped below
     ``(1 - max_regress) * baseline``, or a wall time that grew past
-    ``(1 + max_regress) * baseline``.
+    ``(1 + max_regress) * baseline``.  The null-telemetry overhead is
+    additionally held to the absolute :data:`NULL_TELEMETRY_MAX_PCT`
+    ceiling regardless of the baseline.
 
     Wall-time benchmarks are only directly comparable at equal scales
     (CI runs ``--quick``, the committed record is full scale), so when
@@ -534,6 +547,12 @@ def check_regression(
     """
     same_scale = current.get("scale") == baseline.get("scale")
     failures: List[str] = []
+    cur_null = _bench_value(current, "null_telemetry_overhead_pct")
+    if cur_null is not None and cur_null > NULL_TELEMETRY_MAX_PCT:
+        failures.append(
+            f"null_telemetry_overhead_pct: {cur_null:.2f}% exceeds the "
+            f"absolute {NULL_TELEMETRY_MAX_PCT:.0f}% disabled-path ceiling"
+        )
     for name, higher_is_better in GATED_BENCHMARKS:
         if name == "macro_fig7_wall_s" and not same_scale:
             base = _detail_value(baseline, name, "events_per_sec")

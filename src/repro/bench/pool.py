@@ -230,19 +230,25 @@ class WorkerFailure(RuntimeError):
         self.remote_traceback = remote_traceback
 
 
-def _sanitized_call(fn: Callable[..., ExperimentResult], kwargs: Dict[str, object]):
+def _sanitized_call(
+    fn: Callable[..., ExperimentResult],
+    kwargs: Dict[str, object],
+    obs=None,
+):
     """Run ``fn`` under a fresh Observability and sanitize its events.
 
     Mirrors the autouse pytest fixture, which cannot reach into worker
     processes: every protocol event the arm's servers emit is replayed
     through the vector-clock checker before the result is accepted.
-    Returns ``(result, n_events_checked)``.
+    ``obs`` lets the caller share the bundle (e.g. to dump per-arm
+    artifacts afterwards).  Returns ``(result, n_events_checked)``.
     """
     from repro.analysis.events import events_from_instants
     from repro.analysis.sanitizer import SanitizerReport, sanitize_events, sanitize_run
     from repro.obs import MetricsRegistry, Observability, observed
 
-    obs = Observability(MetricsRegistry("pool-sanitizer"))
+    if obs is None:
+        obs = Observability(MetricsRegistry("pool-sanitizer"))
     with observed(obs):
         result = fn(**kwargs)
     report = SanitizerReport(n_streams=0)
@@ -263,27 +269,80 @@ def _sanitized_call(fn: Callable[..., ExperimentResult], kwargs: Dict[str, objec
     return result, n_events
 
 
+def _arm_slug(key: str) -> str:
+    """A filesystem-safe slug for an arm key (``"fig7/N8"`` -> ``fig7_N8``)."""
+    slug = "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
+    return slug or "arm"
+
+
+def _dump_arm_observability(obs, obs_dir: str, key: str) -> None:
+    """Write one arm's trace (with causal spans) and metrics JSON.
+
+    Artifacts land at ``<obs_dir>/<slug>.trace.json`` and
+    ``<obs_dir>/<slug>.metrics.json`` — exactly the files
+    ``python -m repro.obs`` consumes, so a pooled sweep's per-arm
+    telemetry survives the process boundary that the parent's in-memory
+    bundle cannot cross.
+    """
+    import json as _json
+
+    from repro.obs.export import dump_trace
+
+    directory = Path(obs_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    slug = _arm_slug(key)
+    run = obs.last_run
+    if run is not None:
+        dump_trace(
+            str(directory / f"{slug}.trace.json"),
+            run.trace,
+            instants=run.instants,
+            process_name=run.label,
+            causal=getattr(run, "causal", None),
+        )
+    metrics_path = directory / f"{slug}.metrics.json"
+    metrics_path.write_text(_json.dumps(obs.registry.to_dict(), indent=2))
+
+
 def _execute_remote(
     fn: Callable[..., ExperimentResult],
     kwargs: Dict[str, object],
     key: str,
     sanitize: bool,
+    obs_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Worker-process entry point: run one arm, return a plain payload.
 
     Resets the ambient observability first (a forked child would
     otherwise write into a copy of the parent's bundle), and never lets
     an exception escape — failures travel home as formatted tracebacks.
+    With ``obs_dir`` the arm runs under its own fresh Observability and
+    its trace/metrics are dumped there before returning (see
+    :func:`_dump_arm_observability`).
     """
-    from repro.obs import set_current_observability
+    from repro.obs import (
+        MetricsRegistry,
+        Observability,
+        observed,
+        set_current_observability,
+    )
 
     set_current_observability(None)
     try:
+        obs = None
+        if obs_dir is not None:
+            obs = Observability(MetricsRegistry(f"pool-arm-{_arm_slug(key)}"))
         if sanitize:
-            result, n_events = _sanitized_call(fn, kwargs)
+            result, n_events = _sanitized_call(fn, kwargs, obs=obs)
+        elif obs is not None:
+            with observed(obs):
+                result = fn(**kwargs)
+            n_events = 0
         else:
             result = fn(**kwargs)
             n_events = 0
+        if obs is not None:
+            _dump_arm_observability(obs, obs_dir, key)
         return {"ok": True, "result": result.to_dict(), "sanitized_events": n_events}
     except BaseException as exc:  # noqa: BLE001 - transported to the parent
         return {
@@ -338,6 +397,13 @@ class SweepExecutor:
     worker exception.  ``task_timeout`` bounds how long the parent waits
     for any single arm (the stuck worker process is abandoned, not
     killed — the pool is replaced on the next map call).
+
+    ``obs_dir`` makes pooled workers dump per-arm observability
+    artifacts (trace + metrics JSON) into that directory.  Obs options
+    never enter task fingerprints, so to keep the run cache honest the
+    executor *skips cache reads* for pooled arms while capturing (a
+    cached hit would silently produce no artifact) but still writes
+    results back — the next non-capturing sweep hits as usual.
     """
 
     def __init__(
@@ -347,6 +413,7 @@ class SweepExecutor:
         sanitize: bool = False,
         task_timeout: Optional[float] = None,
         start_method: Optional[str] = None,
+        obs_dir: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -355,6 +422,7 @@ class SweepExecutor:
         self.sanitize = sanitize
         self.task_timeout = task_timeout
         self.start_method = start_method
+        self.obs_dir = obs_dir
         self.stats = PoolStats()
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
@@ -400,10 +468,13 @@ class SweepExecutor:
         pending: List[int] = []
         digests: List[Optional[str]] = [None] * len(tasks)
         self.stats.tasks += len(tasks)
+        # Per-arm artifact capture only happens inside pooled workers;
+        # cached arms never execute, so reads are bypassed while it's on.
+        capture_arms = self.obs_dir is not None and self.jobs > 1
         for i, task in enumerate(tasks):
             if self.cache is not None:
                 digest = digests[i] = self.cache.key_for(task)
-                payload = self.cache.get(digest)
+                payload = None if capture_arms else self.cache.get(digest)
                 if payload is not None:
                     results[i] = ExperimentResult.from_dict(payload)
                     self.stats.cache_hits += 1
@@ -449,7 +520,7 @@ class SweepExecutor:
         futures = {
             i: pool.submit(
                 _execute_remote, tasks[i].fn, tasks[i].kwargs, tasks[i].key,
-                self.sanitize,
+                self.sanitize, self.obs_dir,
             )
             for i in pending
         }

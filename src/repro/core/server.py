@@ -197,6 +197,10 @@ class ShardServer:
             "missing iterations in answered pulls",
             buckets=exponential_buckets(1.0, 2.0, 10),
         ).labels(shard=shard_id)
+        self._q_wait = reg.sketch(
+            "ps_dpr_wait_quantiles",
+            "DPR buffer wait seconds (mergeable quantile sketch)",
+        ).labels(shard=shard_id)
 
         # Per-server condition instances: each server independently adjusts
         # its synchronization scheme (mutable state like DSPS's threshold
@@ -221,6 +225,11 @@ class ShardServer:
         self.worker_progress: List[int] = [-1] * n_workers  # last pushed iteration
         self.last_pull_progress: List[int] = [-1] * n_workers  # last accepted pull
         self.last_significance = 0.0
+        #: Worker whose push is currently being applied; DPR releases
+        #: happen inside ``handle_push`` -> ``_try_advance``, so this names
+        #: the straggler that each released pull was waiting on (-1 when
+        #: idle or the release came from ``handle_pull`` itself).
+        self._releasing_worker = -1
         # Protocol event stream (repro.analysis): unique incarnation id and
         # a lazily-emitted config event so the sanitizer can replay runs.
         self.uid = next(_SERVER_UIDS)
@@ -336,7 +345,11 @@ class ShardServer:
         self.metrics.record_push()
         if self._obs_on:
             self._c_pushes.inc()
-        self._try_advance()
+        self._releasing_worker = worker
+        try:
+            self._try_advance()
+        finally:
+            self._releasing_worker = -1
 
     def _try_advance(self) -> None:
         """Advance the frontier while the push condition holds, flushing
@@ -509,6 +522,7 @@ class ShardServer:
         self.metrics.record_response(missing=missing, waited=waited)
         if self._obs_on:
             self._h_wait.observe(waited)
+            self._q_wait.observe(waited)
             self._h_staleness.observe(missing)
             if s_at_eval is None:
                 s_at_eval = self.pull_con.staleness()
@@ -517,6 +531,7 @@ class ShardServer:
                     "dpr_released", self.clock(), actor=self.actor,
                     uid=self.uid, worker=req.worker, progress=req.progress,
                     waited=waited, missing=missing, shard=self.shard_id,
+                    released_by=self._releasing_worker,
                 )
             self.obs.instants.record(
                 "pull_answer", self.clock(), actor=self.actor,

@@ -4,9 +4,11 @@ One :class:`Observability` bundle carries everything a run records:
 
 - a label-aware :class:`~repro.obs.registry.MetricsRegistry` (counters,
   gauges with time series, exponential-bucket histograms);
-- per-run captures — the run's ``TraceRecorder`` plus an
+- per-run captures — the run's ``TraceRecorder``, an
   :class:`~repro.obs.export.InstantLog` of protocol point events (DPR
-  buffered/released, PSSP pass/pause, frontier advances);
+  buffered/released, PSSP pass/pause, frontier advances), and a
+  :class:`~repro.obs.causal.CausalTrace` of cause-linked spans for
+  critical-path blame attribution;
 - exporters: :func:`~repro.obs.export.dump_trace` writes Chrome/Perfetto
   trace-event JSON, :func:`~repro.obs.export.dump_metrics` the metrics,
   and :func:`~repro.obs.report.render_report` a human-readable summary.
@@ -23,6 +25,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import List, Optional
 
+from repro.obs.causal import NULL_CAUSAL, CausalSpan, CausalTrace, NullCausalTrace
 from repro.obs.export import (
     Instant,
     InstantLog,
@@ -31,28 +34,36 @@ from repro.obs.export import (
     dump_metrics,
     dump_trace,
 )
+from repro.obs.quantiles import QuantileSketch
 from repro.obs.registry import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    Sketch,
     exponential_buckets,
     global_registry,
     null_registry,
 )
 
 __all__ = [
+    "CausalSpan",
+    "CausalTrace",
     "Counter",
     "Gauge",
     "Histogram",
     "Instant",
     "InstantLog",
     "MetricsRegistry",
+    "NULL_CAUSAL",
+    "NullCausalTrace",
     "NullInstantLog",
     "NullRegistry",
     "Observability",
+    "QuantileSketch",
     "RunCapture",
+    "Sketch",
     "current_observability",
     "default_metrics_path",
     "dump_metrics",
@@ -80,6 +91,7 @@ class RunCapture:
         self.label = label
         self.trace = trace
         self.instants = InstantLog()
+        self.causal = CausalTrace()
         self.complete = False
 
 
@@ -110,6 +122,11 @@ class Observability:
         return self._default_instants
 
     @property
+    def causal(self) -> CausalTrace:
+        """The current run's causal span trace (null before any run)."""
+        return self.runs[-1].causal if self.runs else NULL_CAUSAL
+
+    @property
     def last_run(self) -> Optional[RunCapture]:
         return self.runs[-1] if self.runs else None
 
@@ -127,6 +144,7 @@ class _DisabledObservability(Observability):
     def begin_run(self, label: str, trace=None) -> RunCapture:
         cap = RunCapture(label, trace)
         cap.instants = self._default_instants
+        cap.causal = NULL_CAUSAL
         return cap  # not retained: nothing is being captured
 
 

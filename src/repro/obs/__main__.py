@@ -1,0 +1,172 @@
+"""``python -m repro.obs`` — render blame tables, percentiles, flames.
+
+Consumes the artifacts the benches write (``--trace-out`` trace JSON
+with embedded causal spans, ``--metrics-out`` / per-arm metrics JSON)
+and renders them offline:
+
+- ``--blame``: per-sync-model critical-path blame tables (compute /
+  network / sync-wait / server fractions that sum to 1.0 per iteration)
+  plus straggler attribution, one table per trace file;
+- ``--percentiles``: p50/p95/p99 from the mergeable quantile sketches,
+  merged exactly across every metrics file given (per-arm sweeps);
+- ``--flame``: folded-stack lines (flamegraph.pl / speedscope format)
+  of the critical paths.
+
+Directories are expanded to the matching ``*.json`` files inside, so a
+sweep's per-arm artifact directory can be passed directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.causal import (
+    causal_from_trace_doc,
+    folded_stacks,
+    iteration_blames,
+    render_blame_table,
+)
+from repro.obs.quantiles import merge_metric_docs, percentile_rows
+from repro.utils.tables import format_table
+
+
+def _expand(paths: Sequence[str]) -> List[Path]:
+    """Files as given; directories expand to their ``*.json`` contents."""
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.json")))
+        else:
+            out.append(p)
+    return out
+
+
+def _load(path: Path) -> Optional[Dict[str, object]]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[skip {path}: {exc}]", file=sys.stderr)
+        return None
+
+
+def _trace_models(doc: Dict[str, object]) -> List[str]:
+    """Sync model names from the trace's ``run_config`` instant event."""
+    for ev in doc.get("traceEvents", []):  # type: ignore[union-attr]
+        if ev.get("ph") == "i" and ev.get("name") == "run_config":
+            models = ev.get("args", {}).get("models")
+            if models:
+                return [str(m) for m in models]
+    return []
+
+
+def _blame(docs: Dict[Path, Dict[str, object]], max_rows: int) -> int:
+    shown = 0
+    for path, doc in docs.items():
+        causal = causal_from_trace_doc(doc)
+        if not causal.spans:
+            continue
+        blames = iteration_blames(causal.spans)
+        print(
+            render_blame_table(
+                blames,
+                title=path.name,
+                models=_trace_models(doc),
+                max_rows=max_rows,
+            )
+        )
+        shown += 1
+    if not shown:
+        print("no causal spans found (re-run with --trace-out and tracing on)")
+        return 2
+    return 0
+
+
+def _percentiles(docs: Dict[Path, Dict[str, object]]) -> int:
+    # Metrics dumps are registry.to_dict() files; trace dumps have no
+    # "metrics" key and simply contribute nothing.
+    merged = merge_metric_docs(docs.values())
+    rows = percentile_rows(merged)
+    if not rows:
+        print("no quantile sketches found in the given metrics files")
+        return 2
+    print(
+        format_table(
+            ["metric", "labels", "n", "p50", "p95", "p99"],
+            rows,
+            title=f"merged latency percentiles ({len(docs)} file(s))",
+        )
+    )
+    return 0
+
+
+def _flame(docs: Dict[Path, Dict[str, object]]) -> int:
+    lines: List[str] = []
+    for doc in docs.values():
+        causal = causal_from_trace_doc(doc)
+        if causal.spans:
+            lines.extend(folded_stacks(causal.spans))
+    if not lines:
+        print("no causal spans found (re-run with --trace-out and tracing on)")
+        return 2
+    for line in lines:
+        print(line)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="render blame tables, percentiles, and flame views "
+        "from dumped observability artifacts",
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="trace/metrics JSON files, or directories of them",
+    )
+    parser.add_argument(
+        "--blame", action="store_true",
+        help="critical-path blame tables per trace (default action)",
+    )
+    parser.add_argument(
+        "--percentiles", action="store_true",
+        help="merge quantile sketches across metrics files; print p50/p95/p99",
+    )
+    parser.add_argument(
+        "--flame", action="store_true",
+        help="folded-stack flame view of the critical paths",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=20,
+        help="per-iteration rows shown per blame table (default 20)",
+    )
+    args = parser.parse_args(argv)
+
+    docs: Dict[Path, Dict[str, object]] = {}
+    for path in _expand(args.paths):
+        doc = _load(path)
+        if doc is not None:
+            docs[path] = doc
+    if not docs:
+        print("no readable JSON artifacts among the given paths", file=sys.stderr)
+        return 2
+
+    if not (args.blame or args.percentiles or args.flame):
+        args.blame = True
+    rc = 0
+    if args.blame:
+        rc = max(rc, _blame(docs, args.max_rows))
+    if args.percentiles:
+        rc = max(rc, _percentiles(docs))
+    if args.flame:
+        rc = max(rc, _flame(docs))
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

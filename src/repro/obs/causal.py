@@ -1,0 +1,361 @@
+"""Causal request tracing and critical-path blame attribution.
+
+Where the trace recorder answers *what happened when*, this module
+answers *why an iteration took as long as it did*.  Every message the
+runner sends carries a **cause id** — the index of the causal span that
+produced it — so a completed iteration leaves behind a DAG of spans:
+
+    compute -> tx_queue -> wire -> rx -> [server_queue] -> server_apply
+                                     \\-> server_queue(DPR) -> reply ... -> sync_wait
+
+The analyzer walks each iteration's terminal ``sync_wait`` span back to
+its root, extracts the **critical path** (the chain of causes that
+actually gated the worker's resume), and attributes each second of the
+iteration to a blame group:
+
+- ``compute``   — the worker's own gradient computation;
+- ``network``   — TX queueing, wire time, and RX occupancy;
+- ``sync_wait`` — protocol wait in the server's DPR buffer; blamed on
+  the *straggler* worker whose push released the request;
+- ``server``    — server apply cost and inbox backlog.
+
+Blame fractions are computed with a forward cursor over the path, so per
+iteration they sum to 1.0 by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.utils.tables import format_table
+
+#: Known span categories (checked by repro.analysis CS04).
+CATEGORIES = (
+    "compute",
+    "tx_queue",
+    "wire",
+    "rx",
+    "server_queue",
+    "server_apply",
+    "sync_wait",
+)
+
+#: Span category -> blame group.  ``server_queue`` spans that name a
+#: releasing worker (``blocked_on >= 0``) are protocol wait on a
+#: straggler and move to the ``sync_wait`` group at blame time.
+BLAME_GROUPS = {
+    "compute": "compute",
+    "tx_queue": "network",
+    "wire": "network",
+    "rx": "network",
+    "server_queue": "server",
+    "server_apply": "server",
+    "sync_wait": "sync_wait",
+}
+
+#: Render/report order for the blame groups.
+BLAME_ORDER = ("compute", "network", "sync_wait", "server")
+
+#: Top-level key causal spans live under in exported trace JSON (ignored
+#: by Perfetto/chrome://tracing, which only read ``traceEvents``).
+CAUSAL_EXPORT_KEY = "causalSpans"
+
+
+@dataclass(slots=True)
+class CausalSpan:
+    """One node of the causal DAG.
+
+    ``parent`` is the id of the span that caused this one (-1 for
+    roots).  ``blocked_on`` names the worker whose push released a
+    DPR-buffered pull (-1 when not applicable).
+    """
+
+    id: int
+    parent: int
+    actor: str
+    category: str
+    t0: float
+    t1: float
+    worker: int = -1
+    iteration: int = -1
+    shard: int = -1
+    tag: str = ""
+    blocked_on: int = -1
+
+
+class CausalTrace:
+    """Append-only causal span store; acyclic by construction."""
+
+    __slots__ = ("spans",)
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[CausalSpan] = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def record(
+        self,
+        parent: int,
+        actor: str,
+        category: str,
+        t0: float,
+        t1: float,
+        worker: int = -1,
+        iteration: int = -1,
+        shard: int = -1,
+        tag: str = "",
+        blocked_on: int = -1,
+    ) -> int:
+        """Append a span and return its id (usable as a later parent)."""
+        sid = len(self.spans)
+        if parent >= sid:
+            raise ValueError(f"causal parent {parent} must precede span {sid}")
+        self.spans.append(
+            CausalSpan(
+                sid, parent, actor, category, float(t0), float(t1),
+                worker, iteration, shard, tag, blocked_on,
+            )
+        )
+        return sid
+
+
+class NullCausalTrace(CausalTrace):
+    """Disabled backend: records nothing, hands out -1 ids."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def record(self, *args: object, **kwargs: object) -> int:
+        return -1
+
+
+NULL_CAUSAL = NullCausalTrace()
+
+
+# ---------------------------------------------------------------------------
+# Serialization (trace-file round trip)
+# ---------------------------------------------------------------------------
+
+
+def causal_to_dicts(trace: CausalTrace) -> List[Dict[str, object]]:
+    """JSON-safe list form of every span, in id order."""
+    return [asdict(span) for span in trace.spans]
+
+
+def causal_from_dicts(rows: Iterable[Mapping[str, object]]) -> CausalTrace:
+    """Rebuild a :class:`CausalTrace` from :func:`causal_to_dicts` output.
+
+    Loaded spans are *not* revalidated here — feed the result through
+    ``repro.analysis.check_causal_spans`` to vet untrusted files.
+    """
+    trace = CausalTrace()
+    for row in rows:
+        trace.spans.append(CausalSpan(**dict(row)))  # type: ignore[arg-type]
+    return trace
+
+
+def causal_from_trace_doc(doc: Mapping[str, object]) -> CausalTrace:
+    """Extract the causal spans from a loaded trace-export document."""
+    return causal_from_dicts(doc.get(CAUSAL_EXPORT_KEY, ()))  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Critical path + blame
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IterationBlame:
+    """Blame attribution for one (worker, iteration) critical path."""
+
+    worker: int
+    iteration: int
+    start: float
+    end: float
+    total: float
+    seconds: Dict[str, float]
+    fractions: Dict[str, float]
+    actor_seconds: Dict[str, float]
+    straggler_seconds: Dict[str, float]
+    path: List[CausalSpan]
+
+
+def _blame_group(span: CausalSpan) -> str:
+    if span.category == "server_queue" and span.blocked_on >= 0:
+        return "sync_wait"
+    return BLAME_GROUPS.get(span.category, span.category)
+
+
+def _blame_actor(span: CausalSpan) -> str:
+    if span.category == "server_queue" and span.blocked_on >= 0:
+        return f"worker{span.blocked_on}"
+    return span.actor
+
+
+def critical_path(
+    by_id: Mapping[int, CausalSpan], terminal: CausalSpan
+) -> List[CausalSpan]:
+    """The root→terminal cause chain that gated ``terminal``."""
+    chain: List[CausalSpan] = []
+    span: Optional[CausalSpan] = terminal
+    while span is not None:
+        chain.append(span)
+        span = by_id.get(span.parent) if span.parent >= 0 else None
+    chain.reverse()
+    return chain
+
+
+def iteration_blames(spans: Sequence[CausalSpan]) -> List[IterationBlame]:
+    """One :class:`IterationBlame` per completed (worker, iteration).
+
+    Walks each terminal ``sync_wait`` span's cause chain root→terminal
+    with a forward cursor: every span is charged only the wall time by
+    which it extended the path beyond everything already accounted for,
+    so the per-iteration fractions sum to 1.0 by construction.
+    """
+    by_id = {span.id: span for span in spans}
+    terminals = sorted(
+        (s for s in spans if s.category == "sync_wait"),
+        key=lambda s: (s.worker, s.iteration, s.id),
+    )
+    blames: List[IterationBlame] = []
+    for terminal in terminals:
+        chain = critical_path(by_id, terminal)
+        cursor = chain[0].t0
+        start = cursor
+        seconds: Dict[str, float] = {}
+        actor_seconds: Dict[str, float] = {}
+        straggler_seconds: Dict[str, float] = {}
+        for span in chain:
+            seg = span.t1 - cursor
+            if seg <= 0.0:
+                continue
+            cursor = span.t1
+            group = _blame_group(span)
+            seconds[group] = seconds.get(group, 0.0) + seg
+            actor = _blame_actor(span)
+            actor_seconds[actor] = actor_seconds.get(actor, 0.0) + seg
+            if group == "sync_wait" and span.blocked_on >= 0:
+                straggler_seconds[actor] = straggler_seconds.get(actor, 0.0) + seg
+        total = 0.0
+        for group in sorted(seconds):
+            total += seconds[group]
+        fractions = (
+            {g: s / total for g, s in seconds.items()} if total > 0.0 else {}
+        )
+        blames.append(
+            IterationBlame(
+                worker=terminal.worker,
+                iteration=terminal.iteration,
+                start=start,
+                end=terminal.t1,
+                total=total,
+                seconds=seconds,
+                fractions=fractions,
+                actor_seconds=actor_seconds,
+                straggler_seconds=straggler_seconds,
+                path=chain,
+            )
+        )
+    return blames
+
+
+def aggregate_blame(blames: Sequence[IterationBlame]) -> Dict[str, float]:
+    """Overall blame fractions, weighted by per-iteration seconds."""
+    seconds: Dict[str, float] = {}
+    for blame in blames:
+        for group, s in blame.seconds.items():
+            seconds[group] = seconds.get(group, 0.0) + s
+    total = 0.0
+    for group in sorted(seconds):
+        total += seconds[group]
+    if total <= 0.0:
+        return {}
+    return {group: s / total for group, s in seconds.items()}
+
+
+def straggler_table(blames: Sequence[IterationBlame]) -> List[tuple]:
+    """``(actor, seconds)`` pairs of sync-wait blame, largest first."""
+    seconds: Dict[str, float] = {}
+    for blame in blames:
+        for actor, s in blame.straggler_seconds.items():
+            seconds[actor] = seconds.get(actor, 0.0) + s
+    return sorted(seconds.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def render_blame_table(
+    blames: Sequence[IterationBlame],
+    title: str = "",
+    models: Optional[Sequence[str]] = None,
+    max_rows: int = 20,
+) -> str:
+    """Human-readable blame report: aggregate, stragglers, per-iteration."""
+    lines: List[str] = []
+    header = "== critical-path blame"
+    if title:
+        header += f": {title}"
+    if models:
+        header += f" [sync={','.join(dict.fromkeys(models))}]"
+    lines.append(header + " ==")
+    if not blames:
+        lines.append("(no completed iterations traced)")
+        return "\n".join(lines)
+    total = sum(b.total for b in blames)
+    lines.append(f"iterations={len(blames)} critical-path total={total:.4f}s")
+    agg = aggregate_blame(blames)
+    lines.append(
+        "aggregate: "
+        + "  ".join(f"{g}={agg.get(g, 0.0):.3f}" for g in BLAME_ORDER)
+    )
+    stragglers = straggler_table(blames)
+    if stragglers:
+        sync_total = sum(s for _, s in stragglers)
+        lines.append("-- stragglers (sync-wait seconds by blocking worker) --")
+        for actor, s in stragglers[:5]:
+            lines.append(f"{actor}: {s:.4f}s ({s / sync_total:.0%} of sync-wait)")
+    rows = [
+        [
+            f"worker{b.worker}",
+            b.iteration,
+            b.total,
+        ]
+        + [b.fractions.get(g, 0.0) for g in BLAME_ORDER]
+        for b in blames[:max_rows]
+    ]
+    lines.append(
+        format_table(
+            ["worker", "iter", "total_s", *BLAME_ORDER],
+            rows,
+            title="per-iteration blame fractions (sum to 1.0)",
+        )
+    )
+    if len(blames) > max_rows:
+        lines.append(f"(+{len(blames) - max_rows} more iterations not shown)")
+    return "\n".join(lines)
+
+
+def folded_stacks(spans: Sequence[CausalSpan]) -> List[str]:
+    """Critical paths as folded stack lines (``frame;frame value_us``).
+
+    The output is the flamegraph.pl / speedscope "folded" format: one
+    line per unique stack with the critical-path microseconds it owns.
+    Frames are the causal categories, rooted at the owning worker.
+    """
+    agg: Dict[str, float] = {}
+    for blame in iteration_blames(spans):
+        cursor = blame.path[0].t0
+        frames: List[str] = [f"worker{blame.worker}"]
+        for span in blame.path:
+            frames.append(span.category)
+            seg = span.t1 - cursor
+            if seg <= 0.0:
+                continue
+            cursor = span.t1
+            stack = ";".join(frames)
+            agg[stack] = agg.get(stack, 0.0) + seg
+    return [f"{stack} {int(round(us * 1e6))}" for stack, us in sorted(agg.items())]

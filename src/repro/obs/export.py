@@ -7,6 +7,13 @@ for spans, and ``"ph": "i"`` instant events for the protocol moments the
 paper's evaluation hinges on (DPR buffering, lazy-pull release, PSSP
 pass/pause decisions, ``V_train`` frontier advances).
 
+When a causal trace is supplied, the export also emits Perfetto **flow
+events** (``"ph": "s"``/``"f"`` pairs) that draw push→apply→reply arrows
+from each message's TX start on the sender's track to its RX completion
+on the receiver's track, and embeds the raw causal spans under the
+``causalSpans`` top-level key (ignored by viewers, round-tripped by
+``python -m repro.obs``).
+
 All simulated/wall times are seconds; the trace format wants
 microseconds, hence ``_US``.
 """
@@ -17,6 +24,8 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.causal import CAUSAL_EXPORT_KEY, causal_to_dicts
 
 _US = 1e6  # seconds -> trace-format microseconds
 
@@ -57,17 +66,68 @@ class NullInstantLog(InstantLog):
         pass
 
 
+def causal_flow_events(
+    causal, tids: Dict[str, int], pid: int = 1
+) -> List[Dict[str, object]]:
+    """Flow-event arrows linking each message's sender to its receiver.
+
+    Each delivered message leaves a ``tx_queue -> wire -> rx`` chain in
+    the causal trace; the arrow starts when the wire transfer begins on
+    the sender's track and finishes when RX completes on the receiver's
+    track, sharing the rx span's id.
+    """
+    by_id = {s.id: s for s in causal.spans}
+    events: List[Dict[str, object]] = []
+    for rx in causal.spans:
+        if rx.category != "rx":
+            continue
+        wire = by_id.get(rx.parent)
+        if wire is None or wire.category != "wire":
+            continue
+        txq = by_id.get(wire.parent)
+        src_actor = txq.actor if txq is not None else ""
+        if src_actor not in tids or rx.actor not in tids:
+            continue
+        name = rx.tag or "message"
+        events.append(
+            {
+                "name": name,
+                "cat": "causal",
+                "ph": "s",
+                "id": rx.id,
+                "ts": wire.t0 * _US,
+                "pid": pid,
+                "tid": tids[src_actor],
+            }
+        )
+        events.append(
+            {
+                "name": name,
+                "cat": "causal",
+                "ph": "f",
+                "bp": "e",
+                "id": rx.id,
+                "ts": rx.t1 * _US,
+                "pid": pid,
+                "tid": tids[rx.actor],
+            }
+        )
+    return events
+
+
 def trace_to_events(
     trace,
     instants: Iterable[Instant] = (),
     pid: int = 1,
     process_name: str = "",
+    causal=None,
 ) -> List[Dict[str, object]]:
     """Flatten a TraceRecorder (+ instants) into trace-event dicts.
 
     One thread track per actor; actors are discovered from both spans and
     instant events, so server actors that only emit instants still get a
-    named track.
+    named track.  With a causal trace, flow-event arrows are appended
+    (see :func:`causal_flow_events`).
     """
     instants = list(instants)
     actors = sorted({s.actor for s in trace.spans} | {e.actor for e in instants if e.actor})
@@ -123,6 +183,8 @@ def trace_to_events(
                 "args": dict(e.args),
             }
         )
+    if causal is not None:
+        events.extend(causal_flow_events(causal, tids, pid=pid))
     return events
 
 
@@ -131,6 +193,7 @@ def dump_trace(
     trace,
     instants: Iterable[Instant] = (),
     process_name: str = "",
+    causal=None,
 ) -> Path:
     """Write one run's trace as a Perfetto-loadable JSON file."""
     if not getattr(trace, "keep_spans", True):
@@ -140,9 +203,13 @@ def dump_trace(
         )
     path = Path(path)
     doc = {
-        "traceEvents": trace_to_events(trace, instants, process_name=process_name),
+        "traceEvents": trace_to_events(
+            trace, instants, process_name=process_name, causal=causal
+        ),
         "displayTimeUnit": "ms",
     }
+    if causal is not None and len(causal.spans):
+        doc[CAUSAL_EXPORT_KEY] = causal_to_dicts(causal)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(doc))
     return path

@@ -9,7 +9,10 @@ kinds cover the quantities the paper's evaluation is made of:
   series (per-shard DPR queue depth, frontier value, NIC utilization),
   timestamped by the registry's clock (simulated or wall seconds);
 - :class:`Histogram` — exponential-bucket distributions (DPR wait time,
-  per-iteration latency, lock wait).
+  per-iteration latency, lock wait);
+- :class:`Sketch` — mergeable log-bucket quantile sketches
+  (:mod:`repro.obs.quantiles`) whose per-worker/per-shard states combine
+  exactly across pool processes for fleet-wide p50/p95/p99.
 
 Every metric is label-aware: ``counter.inc(shard=3)`` and
 ``counter.inc(shard=4)`` maintain independent children.  Hot paths
@@ -30,6 +33,8 @@ import bisect
 import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.quantiles import QuantileSketch, merge_all
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -149,6 +154,7 @@ class Gauge(_Metric):
         self._series_max = series_max_points
         self._values: Dict[LabelKey, float] = {}
         self._series: Dict[LabelKey, Tuple[Deque[float], Deque[float]]] = {}
+        self._evicted: Dict[LabelKey, int] = {}
 
     def set(self, value: float, **labels: object) -> None:
         self._set(_label_key(labels), value)
@@ -162,6 +168,10 @@ class Gauge(_Metric):
                     m = self._series_max
                     pair = self._series[key] = (deque(maxlen=m), deque(maxlen=m))
                 ts, vs = pair
+                if ts.maxlen is not None and len(ts) == ts.maxlen:
+                    # The ring buffer is about to drop its oldest point;
+                    # count it so truncation is visible in reports.
+                    self._evicted[key] = self._evicted.get(key, 0) + 1
                 ts.append(float(self._clock()))
                 vs.append(float(value))
 
@@ -172,6 +182,10 @@ class Gauge(_Metric):
         """The recorded (timestamps, values) series for one label set."""
         ts, vs = self._series.get(_label_key(labels), ([], []))
         return list(ts), list(vs)
+
+    def evicted(self, **labels: object) -> int:
+        """Points the ring buffer dropped for this label set."""
+        return self._evicted.get(_label_key(labels), 0)
 
     def label_sets(self) -> List[LabelKey]:
         return sorted(self._values)
@@ -187,6 +201,10 @@ class Gauge(_Metric):
                 _label_str(k): {"t": list(ts), "v": list(vs)}
                 for k, (ts, vs) in sorted(self._series.items())
             }
+            if self._evicted:
+                out["evicted"] = {
+                    _label_str(k): n for k, n in sorted(self._evicted.items())
+                }
         return out
 
 
@@ -255,7 +273,12 @@ class Histogram(_Metric):
         return list(state.counts) if state else [0] * (len(self.buckets) + 1)
 
     def quantile(self, q: float, **labels: object) -> float:
-        """Upper-bound estimate of the ``q`` quantile from bucket counts."""
+        """Estimate of the ``q`` quantile, interpolated within buckets.
+
+        Linear interpolation between a bucket's bounds (the first bucket
+        interpolates up from 0, the overflow bucket up to the observed
+        max); the result is clamped to the observed max.
+        """
         if not 0 <= q <= 1:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         state = self._states.get(_label_key(labels))
@@ -263,10 +286,16 @@ class Histogram(_Metric):
             return 0.0
         target = q * state.count
         cum = 0
+        lower = 0.0
         for i, c in enumerate(state.counts):
-            cum += c
-            if cum >= target and c:
-                return self.buckets[i] if i < len(self.buckets) else state.max
+            upper = self.buckets[i] if i < len(self.buckets) else state.max
+            if c:
+                if cum + c >= target:
+                    frac = (target - cum) / c
+                    value = lower + frac * (upper - lower) if upper > lower else upper
+                    return min(value, state.max)
+                cum += c
+            lower = upper if i < len(self.buckets) else lower
         return state.max
 
     def label_sets(self) -> List[LabelKey]:
@@ -285,6 +314,75 @@ class Histogram(_Metric):
                     "max": s.max,
                 }
                 for k, s in sorted(self._states.items())
+            },
+        }
+
+
+class Sketch(_Metric):
+    """Mergeable quantile sketch per label set (exact cross-process merge).
+
+    Backed by :class:`repro.obs.quantiles.QuantileSketch`: integer
+    log-spaced bucket counts with a relative-accuracy guarantee, so
+    per-worker or per-shard states written by different pool processes
+    combine exactly (order-independent, byte-deterministic) before
+    p50/p95/p99 queries.
+    """
+
+    kind = "sketch"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.Lock,
+        relative_accuracy: Optional[float] = None,
+    ):
+        super().__init__(name, help, lock)
+        self.relative_accuracy = (
+            relative_accuracy
+            if relative_accuracy is not None
+            else QuantileSketch.DEFAULT_RELATIVE_ACCURACY
+        )
+        # Validate eagerly so a bad accuracy fails at registration time.
+        QuantileSketch(self.relative_accuracy)
+        self._states: Dict[LabelKey, QuantileSketch] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        self._observe(_label_key(labels), value)
+
+    def _observe(self, key: LabelKey, value: float) -> None:
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = self._states[key] = QuantileSketch(self.relative_accuracy)
+            state.add(value)
+
+    def count(self, **labels: object) -> int:
+        state = self._states.get(_label_key(labels))
+        return state.count if state else 0
+
+    def quantile(self, q: float, **labels: object) -> float:
+        state = self._states.get(_label_key(labels))
+        return state.quantile(q) if state is not None else 0.0
+
+    def sketch(self, **labels: object) -> Optional[QuantileSketch]:
+        """The underlying sketch for one label set (None if unseen)."""
+        return self._states.get(_label_key(labels))
+
+    def merged(self) -> Optional[QuantileSketch]:
+        """All label sets merged into one sketch (None when empty)."""
+        return merge_all(self._states[k] for k in sorted(self._states))
+
+    def label_sets(self) -> List[LabelKey]:
+        return sorted(self._states)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "relative_accuracy": self.relative_accuracy,
+            "series": {
+                _label_str(k): s.to_dict() for k, s in sorted(self._states.items())
             },
         }
 
@@ -357,6 +455,13 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(
             name, Histogram, lambda: Histogram(name, help, self._lock, buckets)
+        )
+
+    def sketch(
+        self, name: str, help: str = "", relative_accuracy: Optional[float] = None
+    ) -> Sketch:
+        return self._get_or_create(
+            name, Sketch, lambda: Sketch(name, help, self._lock, relative_accuracy)
         )
 
     def names(self) -> List[str]:
@@ -444,6 +549,15 @@ class _NullMetric:
     def quantile(self, q: float, **labels: object) -> float:
         return 0.0
 
+    def evicted(self, **labels: object) -> int:
+        return 0
+
+    def sketch(self, **labels: object) -> None:
+        return None
+
+    def merged(self) -> None:
+        return None
+
     def label_sets(self) -> List[LabelKey]:
         return []
 
@@ -468,6 +582,11 @@ class NullRegistry(MetricsRegistry):
 
     def histogram(  # type: ignore[override]
         self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def sketch(  # type: ignore[override]
+        self, name: str, help: str = "", relative_accuracy: Optional[float] = None
     ) -> _NullMetric:
         return _NULL_METRIC
 

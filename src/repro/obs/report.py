@@ -2,15 +2,23 @@
 
 :func:`render_report` turns a metrics registry (and optionally the last
 run's trace) into a compact text report: counter totals, gauge last
-values with series lengths, histogram count/mean/p50/p95/max rows, and a
-per-actor compute/communication breakdown.
+values with series lengths (flagging ring-buffer evictions), histogram
+and sketch percentile rows (p50/p95/p99), and a per-actor
+compute/communication breakdown.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, _label_str
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sketch,
+    _label_str,
+)
 
 
 def _fmt(v: float) -> str:
@@ -32,6 +40,7 @@ def render_report(
     counters = [registry.get(n) for n in names if isinstance(registry.get(n), Counter)]
     gauges = [registry.get(n) for n in names if isinstance(registry.get(n), Gauge)]
     hists = [registry.get(n) for n in names if isinstance(registry.get(n), Histogram)]
+    sketches = [registry.get(n) for n in names if isinstance(registry.get(n), Sketch)]
 
     if counters:
         lines.append("-- counters --")
@@ -48,11 +57,14 @@ def render_report(
                 labels = dict(key)
                 ts, vs = g.series(**labels)
                 last = vs[-1] if vs else g.value(**labels)
+                evicted = g.evicted(**labels)
+                note = f", {evicted} evicted" if evicted else ""
                 lines.append(
-                    f"{g.name}{{{_label_str(key)}}}: {_fmt(last)} ({len(ts)} points)"
+                    f"{g.name}{{{_label_str(key)}}}: {_fmt(last)} "
+                    f"({len(ts)} points{note})"
                 )
     if hists:
-        lines.append("-- histograms (count / mean / p50 / p95 / max) --")
+        lines.append("-- histograms (count / mean / p50 / p95 / p99 / max) --")
         for h in hists:
             for key in h.label_sets():
                 labels = dict(key)
@@ -61,7 +73,28 @@ def render_report(
                     f"n={h.count(**labels)} mean={h.mean(**labels):.6g} "
                     f"p50={h.quantile(0.5, **labels):.6g} "
                     f"p95={h.quantile(0.95, **labels):.6g} "
+                    f"p99={h.quantile(0.99, **labels):.6g} "
                     f"max={h._states[key].max:.6g}"
+                )
+    if sketches:
+        lines.append("-- sketches (count / p50 / p95 / p99) --")
+        for s in sketches:
+            for key in s.label_sets():
+                labels = dict(key)
+                lines.append(
+                    f"{s.name}{{{_label_str(key)}}}: "
+                    f"n={s.count(**labels)} "
+                    f"p50={s.quantile(0.5, **labels):.6g} "
+                    f"p95={s.quantile(0.95, **labels):.6g} "
+                    f"p99={s.quantile(0.99, **labels):.6g}"
+                )
+            merged = s.merged()
+            if merged is not None and len(s.label_sets()) > 1:
+                lines.append(
+                    f"{s.name}{{merged}}: n={merged.count} "
+                    f"p50={merged.quantile(0.5):.6g} "
+                    f"p95={merged.quantile(0.95):.6g} "
+                    f"p99={merged.quantile(0.99):.6g}"
                 )
     if trace is not None:
         lines.extend(_trace_section(trace))

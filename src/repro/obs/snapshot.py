@@ -44,6 +44,7 @@ class ServerSnapshotter:
             else (sorted(network.endpoints) if network is not None else [])
         )
         self.scrapes = 0
+        self._last_scrape_t: Optional[float] = None
         self._g_depth = registry.gauge(
             "ps_dpr_queue_depth", "buffered delayed pull requests per shard"
         )
@@ -111,6 +112,7 @@ class ServerSnapshotter:
     def scrape(self, now: float) -> None:
         """Record one sample of every scraped quantity at sim time ``now``."""
         self.scrapes += 1
+        self._last_scrape_t = now
         for (
             server,
             b_depth,
@@ -144,6 +146,14 @@ class ServerSnapshotter:
             raise ValueError(f"snapshot interval must be positive, got {interval_s}")
         self.scrape(engine.now)
         engine.call_every(interval_s, lambda: self.scrape(engine.now))
+
+    def finalize(self, now: float) -> None:
+        """Emit the end-of-run snapshot so the last partial sampling
+        period is never dropped; a no-op when the periodic scrape already
+        sampled at (or after) ``now``."""
+        if self._last_scrape_t is not None and not (now > self._last_scrape_t):
+            return
+        self.scrape(now)
 
 
 def oldest_buffered_age(server, now: float) -> float:

@@ -96,6 +96,17 @@ class ThreadedRunner:
             "Wall-clock seconds blocked waiting for the pull to complete",
             buckets=_WALL_BUCKETS,
         )
+        # Mergeable counterparts of the wall-clock histograms: sketches
+        # from concurrent runs (or pool processes) combine exactly for
+        # cross-run p50/p95/p99.
+        self._q_iter = reg.sketch(
+            "threaded_iter_quantiles",
+            "wall seconds per completed iteration (mergeable sketch)",
+        )
+        self._q_pull = reg.sketch(
+            "threaded_pull_block_quantiles",
+            "wall seconds blocked in the pull (mergeable sketch)",
+        )
 
     def _wall(self) -> float:
         return time.monotonic() - self._t0
@@ -104,6 +115,8 @@ class ThreadedRunner:
         h_iter = self._h_iter.labels(worker=worker)
         h_lock = self._h_lock.labels(worker=worker)
         h_pull = self._h_pull.labels(worker=worker)
+        q_iter = self._q_iter.labels(worker=worker)
+        q_pull = self._q_pull.labels(worker=worker)
         try:
             params = self.system.current_params()
             rng = derive_rng(self.seed, "step", worker)
@@ -132,10 +145,14 @@ class ThreadedRunner:
                         f"worker {worker} pull for iteration {i} timed out after "
                         f"{self.timeout_s}s (possible deadlock)"
                     )
-                h_pull.observe(time.monotonic() - t_pull)
+                pull_block = time.monotonic() - t_pull
+                h_pull.observe(pull_block)
+                q_pull.observe(pull_block)
                 params = box["result"].params
                 self._progress[worker] = i
-                h_iter.observe(time.monotonic() - t_iter)
+                iter_wall = time.monotonic() - t_iter
+                h_iter.observe(iter_wall)
+                q_iter.observe(iter_wall)
         except BaseException as exc:  # propagate to the caller thread
             errors.append(exc)
 

@@ -59,6 +59,11 @@ class Message:
     ``msg_id`` is assigned by :meth:`Network.send` from a per-``Network``
     counter, so identically-seeded runs in one process see identical id
     streams (a module-global counter would leak state across runs).
+
+    ``cause_id`` threads the causal trace through the wire: the sender
+    sets it to the causal span that produced the message, and delivery
+    rewrites it to the receive-side span id, so the receiver can chain
+    its own spans onto the message's history (-1 when tracing is off).
     """
 
     src: str
@@ -69,6 +74,7 @@ class Message:
     msg_id: int = -1
     send_time: float = -1.0
     deliver_time: float = -1.0
+    cause_id: int = -1
 
 
 _MESSAGE_NEW = Message.__new__
@@ -145,6 +151,7 @@ class Network:
         "messages_in_flight",
         "fast_path_transfers",
         "fallback_transfers",
+        "causal",
         "_next_msg_id",
         "_fabric",
         "_delivery_hooks",
@@ -191,6 +198,11 @@ class Network:
         #: Scheduling-path counters (scraped by ``repro.obs.snapshot``).
         self.fast_path_transfers = 0
         self.fallback_transfers = 0
+        #: Causal span sink (a :class:`repro.obs.causal.CausalTrace`);
+        #: ``None`` keeps the wire paths recording-free.  Recording only
+        #: *reads* the already-fixed timeline, so timestamps are
+        #: bit-identical with tracing on or off.
+        self.causal = None
         self._delivery_hooks: List[Callable[[Message], None]] = []
         #: Hot-path bindings: one attribute load instead of a descriptor
         #: walk per event.  The fast path pushes ``(when, seq, fn, arg)``
@@ -227,10 +239,13 @@ class Network:
         payload: Any = None,
         tag: str = "",
         deliver_to_inbox: bool = True,
+        cause: int = -1,
     ) -> Signal:
         """Start a transfer; returns a Signal fired with the Message upon
         delivery.  The message is also appended to the destination inbox
-        (unless ``deliver_to_inbox=False`` for pure timing probes)."""
+        (unless ``deliver_to_inbox=False`` for pure timing probes).
+        ``cause`` is the sender's causal span id (ignored unless a causal
+        trace is attached via :attr:`causal`)."""
         if size_bytes < 0:
             raise ValueError(f"negative message size: {size_bytes}")
         try:
@@ -255,6 +270,7 @@ class Network:
         self._next_msg_id = mid + 1
         msg.send_time = now
         msg.deliver_time = -1.0
+        msg.cause_id = cause
         self.bytes_in_flight += size_bytes
         self.messages_in_flight += 1
         done = _SIGNAL_NEW(Signal)
@@ -330,6 +346,23 @@ class Network:
         rx_free = dst_ep.rx_free_at
         rx_end = (rx_free if rx_free > arrival else arrival) + rx_hold
         dst_ep.rx_free_at = rx_end
+        causal = self.causal
+        if causal is not None:
+            # Pure bookkeeping over timestamps that are already fixed
+            # (send_time, tx_end = engine.now, arrival, rx_end): the
+            # timeline is bit-identical whether or not this branch runs.
+            # Subtracting tx_hold can land one ulp before send_time for an
+            # uncontended TX lane; clamp so the queue span never inverts.
+            tx_start = self.engine.now - tx_hold
+            if tx_start < msg.send_time:
+                tx_start = msg.send_time
+            q = causal.record(
+                msg.cause_id, msg.src, "tx_queue", msg.send_time, tx_start, tag=msg.tag
+            )
+            w = causal.record(
+                q, f"{msg.src}->{msg.dst}", "wire", tx_start, arrival, tag=msg.tag
+            )
+            msg.cause_id = causal.record(w, msg.dst, "rx", arrival, rx_end, tag=msg.tag)
         # The packed tuple is reused verbatim for the delivery event (one
         # fewer allocation per message); _fast_deliver ignores the TX slots.
         engine = self.engine
@@ -382,12 +415,16 @@ class Network:
     def _transfer(self, msg, src_ep, dst_ep, done, deliver_to_inbox):
         # Bare-number yields are the engine's zero-allocation timeout path;
         # uncontended acquires reuse the resource's shared grant signal.
+        causal = self.causal
+        tx_start = arrival = 0.0
         try:
             # Sender-side serialization (FIFO on the TX lane).
             yield src_ep.tx.acquire()
             if self._fabric is not None:
                 yield self._fabric.acquire()
             tx_hold = src_ep.serialize_time(msg.size_bytes)
+            if causal is not None:
+                tx_start = self.engine.now
             yield tx_hold
             src_ep.tx.release()
             src_ep.tx_busy_s += tx_hold
@@ -395,6 +432,8 @@ class Network:
             src_ep.messages_sent += 1
             # Propagation.
             yield self.latency_s
+            if causal is not None:
+                arrival = self.engine.now
             # Receiver-side drain (incast point).
             yield dst_ep.rx.acquire()
             rx_hold = dst_ep.serialize_time(msg.size_bytes)
@@ -409,6 +448,19 @@ class Network:
             # upward forever and the snapshot report lies.
             self.bytes_in_flight -= msg.size_bytes
             self.messages_in_flight -= 1
+        if causal is not None:
+            # Same three spans as the fast path, from observed resume
+            # times — the fallback contends on Resource lanes, so here RX
+            # queueing shows up between ``arrival`` and the final drain.
+            q = causal.record(
+                msg.cause_id, msg.src, "tx_queue", msg.send_time, tx_start, tag=msg.tag
+            )
+            w = causal.record(
+                q, f"{msg.src}->{msg.dst}", "wire", tx_start, arrival, tag=msg.tag
+            )
+            msg.cause_id = causal.record(
+                w, msg.dst, "rx", arrival, self.engine.now, tag=msg.tag
+            )
         self._deliver(msg, dst_ep, done, deliver_to_inbox)
 
     def _deliver(self, msg, dst_ep, done, deliver_to_inbox) -> None:

@@ -167,13 +167,16 @@ class _ReplyMsg:
 
 
 class _PendingPull:
-    __slots__ = ("flat", "remaining", "signal", "max_missing")
+    __slots__ = ("flat", "remaining", "signal", "max_missing", "last_cause")
 
     def __init__(self, engine: Engine, n_servers: int, n_elements: Optional[int]):
         self.flat = np.empty(n_elements) if n_elements is not None else None
         self.remaining = n_servers
         self.signal = engine.signal("pull-complete")
         self.max_missing = 0
+        #: Causal span id of the last reply to land (-1 when tracing is
+        #: off) — the cause that actually released the worker's sync wait.
+        self.last_cause = -1
 
 
 class FluentPSSimRunner:
@@ -211,11 +214,25 @@ class FluentPSSimRunner:
             for j in range(m)
         ]
         self._capture = None
+        self.causal = None
+        self._pull_sketches = None
+        #: Worker whose push is currently being applied (drives straggler
+        #: blame on DPR releases; only read when causal tracing is on).
+        self._current_push_worker = -1
         if self.obs.enabled:
             self.obs.registry.set_clock(lambda: self.engine.now)
             self._capture = self.obs.begin_run(
                 f"sim-run{len(self.obs.runs)}-n{n}x{m}", self.trace
             )
+            self.causal = self._capture.causal
+            self.net.causal = self.causal
+            self._pull_sketches = [
+                self.obs.registry.sketch(
+                    "pull_latency_seconds",
+                    "sync-wait seconds per sPull round (mergeable sketch)",
+                ).labels(worker=w)
+                for w in range(n)
+            ]
             self.obs.instants.record(
                 "run_config", 0.0, actor="runner",
                 runner="sim", n_workers=n, n_servers=m,
@@ -254,17 +271,29 @@ class FluentPSSimRunner:
     def _server_proc(self, m: int):
         ep = self.net.endpoint(self.cfg.cluster.server_id(m))
         server = self.servers[m]
+        causal = self.causal
+        actor = f"server{m}"
         while True:
             msg: Message = yield ep.inbox.get()
             payload = msg.payload
+            # ``tip`` tracks the request's causal frontier through the
+            # server: delivery rx -> inbox backlog -> apply/DPR wait.
+            tip = msg.cause_id
+            if causal is not None and self.engine.now > msg.deliver_time:
+                tip = causal.record(
+                    tip, actor, "server_queue", msg.deliver_time, self.engine.now,
+                    shard=m, tag=msg.tag,
+                )
             dprs_before = server.metrics.dprs
             if isinstance(payload, _PushMsg):
+                self._current_push_worker = payload.worker
                 server.handle_push(payload.worker, payload.progress, grad=payload.shard)
+                self._current_push_worker = -1
             elif isinstance(payload, _PullMsg):
                 server.handle_pull(
                     payload.worker,
                     payload.progress,
-                    respond=lambda reply, j=m: self._send_reply(j, reply),
+                    respond=lambda reply, j=m, cid=tip: self._send_reply(j, reply, cid),
                 )
             else:
                 raise TypeError(f"server {m}: unexpected message payload {payload!r}")
@@ -279,16 +308,33 @@ class FluentPSSimRunner:
                 # the plain timing path skips the per-request recording.
                 if self.obs.enabled:
                     self.trace.record_span(
-                        f"server{m}", SpanKind.SERVER_APPLY, t0, self.engine.now
+                        actor, SpanKind.SERVER_APPLY, t0, self.engine.now
                     )
+                    if causal is not None:
+                        causal.record(
+                            tip, actor, "server_apply", t0, self.engine.now,
+                            shard=m, tag=msg.tag,
+                        )
 
-    def _send_reply(self, server: int, reply: PullReply) -> None:
+    def _send_reply(self, server: int, reply: PullReply, cause: int = -1) -> None:
+        causal = self.causal
+        if causal is not None and reply.waited > 0:
+            # The pull sat in the DPR buffer from enqueue until this very
+            # instant; the release happens inside the straggler's push, so
+            # ``_current_push_worker`` names who to blame for the wait.
+            now = self.engine.now
+            cause = causal.record(
+                cause, f"server{server}", "server_queue", now - reply.waited, now,
+                worker=reply.worker, iteration=reply.progress, shard=server,
+                tag="dpr", blocked_on=self._current_push_worker,
+            )
         self.net.send(
             self.cfg.cluster.server_id(server),
             self.cfg.cluster.worker_id(reply.worker),
             self._payload_bytes(server),
             payload=_ReplyMsg(server, reply),
             tag="reply",
+            cause=cause,
         ).subscribe(self._on_reply_delivered)
 
     def _on_reply_delivered(self, msg: Message) -> None:
@@ -298,6 +344,7 @@ class FluentPSSimRunner:
         if pending.flat is not None and reply.params is not None:
             self.layout.gather_into(pending.flat, payload.server, reply.params)
         pending.max_missing = max(pending.max_missing, reply.missing)
+        pending.last_cause = msg.cause_id
         pending.remaining -= 1
         if pending.remaining == 0:
             del self._pending[(reply.worker, reply.progress)]
@@ -311,11 +358,18 @@ class FluentPSSimRunner:
         name = f"worker{w}"
         base = cfg.resolved_base_compute(cfg.cluster.workers[w].flops)
         params = cfg.task.init_params.copy() if cfg.task is not None else None
+        causal = self.causal
+        sketch = self._pull_sketches[w] if self._pull_sketches is not None else None
         for i in range(cfg.max_iter):
             dur = self.compute_model.sample(w, i, base, self._compute_rngs[w])
             t0 = self.engine.now
             yield Timeout(dur)
             self.trace.record_span(name, SpanKind.COMPUTE, t0, self.engine.now, i)
+            cause = -1
+            if causal is not None:
+                cause = causal.record(
+                    -1, name, "compute", t0, self.engine.now, worker=w, iteration=i
+                )
             wire_factor = 1.0
             if cfg.task is not None:
                 update = cfg.task.step_fn(
@@ -335,6 +389,7 @@ class FluentPSSimRunner:
                     max(cfg.header_bytes, int(self._payload_bytes(m) * wire_factor)),
                     payload=_PushMsg(w, i, shards[m]),
                     tag="push",
+                    cause=cause,
                 )
             # sPull from every shard server, then wait (lines 5-6).  The
             # push/pull messages share the worker's FIFO TX lane, so each
@@ -352,9 +407,20 @@ class FluentPSSimRunner:
                     cfg.request_bytes,
                     payload=_PullMsg(w, i),
                     tag="pull",
+                    cause=cause,
                 )
             yield pending.signal
             self.trace.record_span(name, SpanKind.PULL, t_sync, self.engine.now, i)
+            if causal is not None:
+                # Terminal span of the iteration's DAG: parented on the
+                # last reply to land (the cause that released the wait).
+                parent = pending.last_cause if pending.last_cause >= 0 else cause
+                causal.record(
+                    parent, name, "sync_wait", t_sync, self.engine.now,
+                    worker=w, iteration=i,
+                )
+            if sketch is not None:
+                sketch.observe(self.engine.now - t_sync)
             if params is not None:
                 params = pending.flat
             if w == 0 and cfg.task is not None and cfg.eval_every > 0:
@@ -391,7 +457,9 @@ class FluentPSSimRunner:
             snapshotter.install(self.engine, interval)
         self.engine.run()
         if snapshotter is not None:
-            snapshotter.scrape(self.engine.now)
+            # Final snapshot so the last partial period is never dropped
+            # (a no-op when the periodic scrape already landed at end time).
+            snapshotter.finalize(self.engine.now)
         if self._pending:
             raise RuntimeError(
                 f"simulation drained with {len(self._pending)} unanswered pulls "

@@ -126,12 +126,14 @@ class TestHistogram:
         assert h.sum() == pytest.approx(1053.5)
         assert h.mean() == pytest.approx(1053.5 / 5)
 
-    def test_quantile_upper_bound(self):
+    def test_quantile_interpolates_within_bucket(self):
         h = MetricsRegistry("t").histogram("lat", buckets=[1.0, 10.0, 100.0])
         for v in [0.5] * 9 + [50.0]:
             h.observe(v)
-        assert h.quantile(0.5) == 1.0  # falls in first bucket
-        assert h.quantile(1.0) == 100.0
+        # target rank 5 of 9 observations in the [0, 1] bucket.
+        assert h.quantile(0.5) == pytest.approx(5 / 9)
+        # the overflow estimate is clamped to the observed max.
+        assert h.quantile(1.0) == 50.0
 
     def test_quantile_empty_and_invalid(self):
         h = MetricsRegistry("t").histogram("lat")
