@@ -11,9 +11,17 @@ Two mechanically-checkable layers over the paper's correctness claims:
 - the **custom lint pass** (:mod:`repro.analysis.lint`) walks the source
   AST for repo-specific invariants: no wall clock or global RNG in
   sim/core, single-writer discipline on ``ShardServer`` state, no float
-  equality on sim timestamps, public API docstrings.
+  equality on sim timestamps, public API docstrings, no set-ordered
+  scheduling/serialization, no OS clock/thread calls in engine
+  coroutines;
+- the **schedule explorer** (:mod:`repro.analysis.explore`) does bounded
+  DPOR-style stateless model checking over the engine's same-timestamp
+  tie groups, sanitizing every inequivalent schedule and serializing
+  failures as replayable choice traces;
+- the **race detector** (:mod:`repro.analysis.races`) checks a live
+  threaded run's shared-parameter accesses for happens-before ordering.
 
-Run both with ``python -m repro.analysis``; the pytest plugin
+Run them with ``python -m repro.analysis``; the pytest plugin
 (:mod:`repro.analysis.pytest_plugin`) sanitizes every test run.
 """
 
@@ -25,7 +33,18 @@ from repro.analysis.events import (
     events_from_trace_doc,
     events_from_trace_file,
 )
+from repro.analysis.explore import (
+    MUTATIONS,
+    PRESETS,
+    ChoiceTrace,
+    ExploreConfig,
+    ExploreReport,
+    ReplayResult,
+    explore,
+    replay_trace,
+)
 from repro.analysis.lint import LintIssue, lint_file, lint_paths
+from repro.analysis.races import RaceTracker
 from repro.analysis.sanitizer import (
     ProtocolSanitizer,
     ProtocolViolation,
@@ -38,11 +57,18 @@ from repro.analysis.sanitizer import (
 from repro.analysis.spans import check_causal_spans, check_trace_spans
 
 __all__ = [
+    "MUTATIONS",
+    "PRESETS",
     "PROTOCOL_EVENT_NAMES",
+    "ChoiceTrace",
+    "ExploreConfig",
+    "ExploreReport",
     "LintIssue",
     "ProtocolEvent",
     "ProtocolSanitizer",
     "ProtocolViolation",
+    "RaceTracker",
+    "ReplayResult",
     "SanitizerReport",
     "Violation",
     "check_causal_spans",
@@ -51,8 +77,10 @@ __all__ = [
     "events_from_run",
     "events_from_trace_doc",
     "events_from_trace_file",
+    "explore",
     "lint_file",
     "lint_paths",
+    "replay_trace",
     "sanitize_events",
     "sanitize_observability",
     "sanitize_run",

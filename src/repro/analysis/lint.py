@@ -22,6 +22,16 @@ Rules
   ordering-based or epsilon-tolerant.
 - **ANA005** — every public module and public class under the linted
   tree carries a docstring.
+- **ANA006** — no iteration over a *set* feeding a scheduling or
+  serialization sink in ``repro.sim``/``repro.core``: set order is
+  hash-randomized across processes, so a ``for x in {…}: engine.schedule(…)``
+  (or a set-driven comprehension passed to ``json.dumps``/``heappush``/…)
+  makes event order irreproducible.  Wrap the set in ``sorted(...)``.
+- **ANA007** — no direct ``time.*``/``threading.*`` calls inside
+  engine-scheduled coroutines (generator functions) in sim/core: a
+  coroutine that sleeps or synchronizes on the OS instead of yielding
+  virtual-time holds stalls the single-threaded engine and desyncs the
+  two runners.
 
 Run via ``python -m repro.analysis --lint src``.
 """
@@ -90,6 +100,18 @@ TIMESTAMP_NAMES = frozenset(
 )
 TIMESTAMP_SUFFIX = "_time"
 
+#: Call names whose argument/loop-body order is observable — scheduling
+#: an event, emitting a message, or serializing state (ANA006).
+ORDER_SINKS = frozenset(
+    {
+        "schedule", "call_in", "call_at", "call_every", "post", "spawn",
+        "send", "fire", "put", "heappush", "dump", "dumps",
+    }
+)
+
+#: Module prefixes banned inside engine coroutines (ANA007).
+COROUTINE_BANNED_PREFIXES = ("time.", "threading.")
+
 
 @dataclass(frozen=True)
 class LintIssue:
@@ -154,6 +176,45 @@ def _is_sim_or_core(rel: Path) -> bool:
     return "sim" in parts or "core" in parts
 
 
+def _is_set_expr(node: ast.AST) -> bool:
+    """True for expressions that evaluate to a set/frozenset (unordered)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """Last segment of a call target (``engine.schedule`` -> ``schedule``)."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _comprehension_over_set(node: ast.AST) -> bool:
+    if _is_set_expr(node):
+        return True
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return any(_is_set_expr(gen.iter) for gen in node.generators)
+    return False
+
+
+def _contains_yield(fn: ast.AST) -> bool:
+    """True when ``fn``'s own body yields (nested defs don't count)."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
 class _FileLinter(ast.NodeVisitor):
     """Runs the per-file rules (ANA001/2/4/5) over one parsed module."""
 
@@ -163,6 +224,8 @@ class _FileLinter(ast.NodeVisitor):
         self.aliases = _import_aliases(tree)
         self.in_sim_or_core = _is_sim_or_core(rel)
         self._tree = tree
+        #: One bool per enclosing def: is it a generator (engine coroutine)?
+        self._gen_stack: List[bool] = []
 
     def flag(self, code: str, node: ast.AST, message: str) -> None:
         self.issues.append(
@@ -199,7 +262,54 @@ class _FileLinter(ast.NodeVisitor):
                     "injected virtual clock",
                 )
             self._check_global_rng(node, resolved)
+            if self._gen_stack and self._gen_stack[-1] and resolved.startswith(
+                COROUTINE_BANNED_PREFIXES
+            ):
+                self.flag(
+                    "ANA007",
+                    node,
+                    f"{resolved}() inside an engine coroutine — yield a "
+                    "virtual-time hold instead of touching the OS clock or "
+                    "threads",
+                )
+        if self.in_sim_or_core and _call_name(node) in ORDER_SINKS:
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                if _comprehension_over_set(arg):
+                    self.flag(
+                        "ANA006",
+                        node,
+                        f"set-ordered argument feeds {_call_name(node)}() — "
+                        "set iteration order is not reproducible; wrap in "
+                        "sorted(...)",
+                    )
+                    break
         self.generic_visit(node)
+
+    # -- ANA006 (set-driven scheduling loops) + ANA007 (coroutine scope) --
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.in_sim_or_core and _is_set_expr(node.iter):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and _call_name(sub) in ORDER_SINKS:
+                    self.flag(
+                        "ANA006",
+                        node,
+                        f"loop over a set reaches {_call_name(sub)}() — set "
+                        "iteration order is not reproducible; wrap in "
+                        "sorted(...)",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._gen_stack.append(_contains_yield(node))
+        self.generic_visit(node)
+        self._gen_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._gen_stack.append(_contains_yield(node))
+        self.generic_visit(node)
+        self._gen_stack.pop()
 
     def _check_global_rng(self, node: ast.Call, resolved: str) -> None:
         if resolved.startswith("random."):

@@ -1,0 +1,232 @@
+"""Dynamic happens-before race detection for the threaded runner.
+
+The real-thread analogue of the schedule explorer: where
+:mod:`repro.analysis.explore` enumerates simulated interleavings, this
+module checks the one interleaving a live
+:class:`~repro.parallel.threaded.ThreadedRunner` run actually took for
+unordered conflicting accesses to shared parameter state.
+
+One :class:`RaceTracker` keeps a vector clock per participating thread
+and derives happens-before edges from the synchronization operations the
+runner reports:
+
+- lock release -> subsequent acquire of the same lock;
+- ``threading.Event.set`` -> a wait that observed it;
+- thread fork -> child start, and child exit -> join.
+
+Every ``access(location, write=...)`` is checked against the last read
+and write of that location by each other thread (a FastTrack-style
+epoch per ``(location, thread)`` pair).  Two accesses to the same
+location, at least one a write, with neither ordered before the other,
+are reported as:
+
+- **R001** — write/write race;
+- **R002** — read/write race;
+
+in the same :class:`~repro.analysis.sanitizer.SanitizerReport` format as
+the protocol sanitizer, so CLI and CI handling is shared.
+
+The tracker is deliberately runner-agnostic: it only sees the token
+stream of sync operations and accesses, so tests can drive it directly
+with plain ``threading`` primitives.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.sanitizer import SanitizerReport, Violation
+
+VectorClockMap = Dict[int, int]
+
+
+def _join_into(target: VectorClockMap, other: VectorClockMap) -> None:
+    for tid, clock in other.items():
+        if clock > target.get(tid, 0):
+            target[tid] = clock
+
+
+class RaceTracker:
+    """Vector-clock happens-before checker fed by instrumentation calls.
+
+    Thread identity is implicit: every call is attributed to the calling
+    thread (registered on first sight).  All methods are thread-safe; the
+    tracker's own lock also makes the reported race set deterministic for
+    a given interleaving of calls.
+    """
+
+    def __init__(self, max_reports: int = 64):
+        self._mu = threading.Lock()
+        self._tids: Dict[int, int] = {}  # threading ident -> logical tid
+        self._names: List[str] = []
+        self._clocks: List[VectorClockMap] = []
+        self._lock_vc: Dict[int, VectorClockMap] = {}
+        self._event_vc: Dict[int, VectorClockMap] = {}
+        #: location -> {"r"|"w" -> {tid -> (epoch, where)}}
+        self._last: Dict[str, Dict[str, Dict[int, Tuple[int, str]]]] = {}
+        self._seen_pairs: Set[Tuple[str, str, int, int, str]] = set()
+        self._max_reports = max_reports
+        self.n_ops = 0
+        self.races: List[Violation] = []
+
+    # -- thread identity (caller must hold self._mu) ----------------------
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            tid = self._new_tid(ident)
+        return tid
+
+    def _new_tid(self, ident: int) -> int:
+        tid = len(self._clocks)
+        self._tids[ident] = tid
+        self._names.append(threading.current_thread().name)
+        self._clocks.append({tid: 1})
+        return tid
+
+    # -- sync edges -------------------------------------------------------
+
+    def fork(self) -> VectorClockMap:
+        """Parent-side thread creation: returns the token to hand to the
+        child's :meth:`begin_thread` (establishes parent -> child order)."""
+        with self._mu:
+            tid = self._tid()
+            vc = self._clocks[tid]
+            snapshot = dict(vc)
+            vc[tid] = vc.get(tid, 0) + 1
+            self.n_ops += 1
+            return snapshot
+
+    def begin_thread(self, token: Optional[VectorClockMap], name: str = "") -> None:
+        """Child-side thread start; ``token`` comes from :meth:`fork`.
+
+        Always allocates a fresh logical tid: the OS recycles thread
+        idents, so a later thread reusing a finished thread's ident must
+        not inherit its clock (that would silently order their accesses).
+        """
+        with self._mu:
+            tid = self._new_tid(threading.get_ident())
+            if name:
+                self._names[tid] = name
+            if token:
+                _join_into(self._clocks[tid], token)
+            self.n_ops += 1
+
+    def end_thread(self) -> VectorClockMap:
+        """Child-side exit: returns the token the joiner passes to
+        :meth:`join_thread` (establishes child -> joiner order).  Drops
+        the ident mapping so a recycled OS ident starts fresh."""
+        with self._mu:
+            tid = self._tid()
+            vc = self._clocks[tid]
+            vc[tid] = vc.get(tid, 0) + 1
+            self._tids.pop(threading.get_ident(), None)
+            self.n_ops += 1
+            return dict(vc)
+
+    def join_thread(self, token: Optional[VectorClockMap]) -> None:
+        """Joiner-side: absorb a finished thread's :meth:`end_thread` token."""
+        with self._mu:
+            tid = self._tid()
+            if token:
+                _join_into(self._clocks[tid], token)
+            self.n_ops += 1
+
+    def lock_acquired(self, lock_id: int) -> None:
+        """After acquiring ``lock_id``: happens-after its last release."""
+        with self._mu:
+            tid = self._tid()
+            held = self._lock_vc.get(lock_id)
+            if held:
+                _join_into(self._clocks[tid], held)
+            self.n_ops += 1
+
+    def lock_released(self, lock_id: int) -> None:
+        """Before releasing ``lock_id``: publish this thread's clock."""
+        with self._mu:
+            tid = self._tid()
+            vc = self._clocks[tid]
+            vc[tid] = vc.get(tid, 0) + 1
+            self._lock_vc[lock_id] = dict(vc)
+            self.n_ops += 1
+
+    def event_set(self, event_id: int) -> None:
+        """Before ``Event.set``: publish into the event's clock (joined,
+        so multiple setters all order before a later waiter)."""
+        with self._mu:
+            tid = self._tid()
+            vc = self._clocks[tid]
+            vc[tid] = vc.get(tid, 0) + 1
+            _join_into(self._event_vc.setdefault(event_id, {}), vc)
+            self.n_ops += 1
+
+    def event_waited(self, event_id: int) -> None:
+        """After a successful ``Event.wait``: happens-after every set."""
+        with self._mu:
+            tid = self._tid()
+            published = self._event_vc.get(event_id)
+            if published:
+                _join_into(self._clocks[tid], published)
+            self.n_ops += 1
+
+    # -- accesses ---------------------------------------------------------
+
+    def access(self, location: str, write: bool, where: str = "") -> None:
+        """Record one read/write of ``location`` and flag races against
+        every other thread's last unordered conflicting access."""
+        with self._mu:
+            tid = self._tid()
+            vc = self._clocks[tid]
+            slot = self._last.setdefault(location, {"r": {}, "w": {}})
+            # A write races with prior reads and writes; a read only with
+            # prior writes.
+            against = ("w", "r") if write else ("w",)
+            for kind in against:
+                for other, (epoch, other_where) in slot[kind].items():
+                    if other != tid and epoch > vc.get(other, 0):
+                        self._flag(
+                            location, write, tid, where, kind, other, other_where
+                        )
+            mine = slot["w" if write else "r"]
+            mine[tid] = (vc.get(tid, 0), where)
+            self.n_ops += 1
+
+    def _flag(
+        self,
+        location: str,
+        write: bool,
+        tid: int,
+        where: str,
+        other_kind: str,
+        other: int,
+        other_where: str,
+    ) -> None:
+        code = "R001" if write and other_kind == "w" else "R002"
+        pair = (code, location, min(tid, other), max(tid, other), other_kind)
+        if pair in self._seen_pairs or len(self.races) >= self._max_reports:
+            return
+        self._seen_pairs.add(pair)
+        kind = "write" if write else "read"
+        prior = "write" if other_kind == "w" else "read"
+        self.races.append(
+            Violation(
+                code=code,
+                message=(
+                    f"data race on {location}: {kind} by {self._names[tid]}"
+                    f"{f' at {where}' if where else ''} is unordered with "
+                    f"{prior} by {self._names[other]}"
+                    f"{f' at {other_where}' if other_where else ''}"
+                ),
+            )
+        )
+
+    # -- reporting --------------------------------------------------------
+
+    def report(self) -> SanitizerReport:
+        """The detected races in the shared sanitizer report format."""
+        with self._mu:
+            return SanitizerReport(
+                violations=list(self.races), n_events=self.n_ops, n_streams=1
+            )

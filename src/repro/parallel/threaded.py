@@ -12,6 +12,12 @@ real interleavings — the co-simulation demonstrates timing.  When an
 :class:`~repro.obs.Observability` sink is active it also measures those
 interleavings in wall-clock time: per-worker iteration latency, lock
 acquisition wait, and time blocked in the pull.
+
+An optional :class:`~repro.analysis.races.RaceTracker` observes the
+run's synchronization operations (lock, per-pull Event, fork/join) and
+its shared-parameter accesses, flagging any pair left unordered by
+happens-before — the real-thread analogue of the simulated schedule
+exploration in :mod:`repro.analysis.explore`.
 """
 
 from __future__ import annotations
@@ -19,9 +25,12 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # instrumentation is duck-typed; no runtime import
+    from repro.analysis.races import RaceTracker
 
 from repro.core.api import ParameterServerSystem, PullResult
 from repro.core.driver import StepContext
@@ -61,6 +70,7 @@ class ThreadedRunner:
         timeout_s: float = 120.0,
         join_grace_s: float = 5.0,
         obs: Optional[Observability] = None,
+        race_tracker: Optional["RaceTracker"] = None,
     ):
         if max_iter < 1:
             raise ValueError(f"max_iter must be >= 1, got {max_iter}")
@@ -75,6 +85,12 @@ class ThreadedRunner:
         self.timeout_s = timeout_s
         self.join_grace_s = join_grace_s
         self.obs = obs or current_observability()
+        #: Optional happens-before race tracker (repro.analysis.races);
+        #: None keeps the worker loop instrumentation-free.
+        self.race_tracker = race_tracker
+        #: worker -> end_thread() token, filled as workers exit (joined by
+        #: run() so child work happens-before the final parameter read).
+        self._end_tokens: Dict[int, dict] = {}
         self._lock = threading.Lock()
         self._t0 = 0.0
         #: Last *completed* iteration per worker (-1 = none yet).
@@ -111,14 +127,35 @@ class ThreadedRunner:
     def _wall(self) -> float:
         return time.monotonic() - self._t0
 
-    def _worker_loop(self, worker: int, errors: List[BaseException]) -> None:
+    def _worker_loop(
+        self,
+        worker: int,
+        errors: List[BaseException],
+        race_token: Optional[dict] = None,
+    ) -> None:
         h_iter = self._h_iter.labels(worker=worker)
         h_lock = self._h_lock.labels(worker=worker)
         h_pull = self._h_pull.labels(worker=worker)
         q_iter = self._q_iter.labels(worker=worker)
         q_pull = self._q_pull.labels(worker=worker)
+        tracker = self.race_tracker
+        shard_locs = [
+            f"shard{m}.params" for m in range(getattr(self.system, "n_servers", 0))
+        ]
+        if tracker is not None:
+            tracker.begin_thread(race_token, name=f"worker{worker}")
         try:
-            params = self.system.current_params()
+            # Initial snapshot under the lock: another worker may already
+            # be pushing, and the servers apply updates to the very arrays
+            # current_params() reads.
+            with self._lock:
+                if tracker is not None:
+                    tracker.lock_acquired(id(self._lock))
+                    for loc in shard_locs:
+                        tracker.access(loc, write=False, where=f"worker{worker}.init")
+                params = self.system.current_params()
+                if tracker is not None:
+                    tracker.lock_released(id(self._lock))
             rng = derive_rng(self.seed, "step", worker)
             for i in range(self.max_iter):
                 t_iter = time.monotonic()
@@ -129,14 +166,30 @@ class ThreadedRunner:
                 box: Dict[str, PullResult] = {}
 
                 def on_complete(result: PullResult) -> None:
+                    # May run on the releasing pusher's thread (DPR flush):
+                    # the Event carries the happens-before edge back to us.
                     box["result"] = result
+                    if tracker is not None:
+                        tracker.event_set(id(done))
                     done.set()
 
                 t_lock = time.monotonic()
                 with self._lock:
                     h_lock.observe(time.monotonic() - t_lock)
+                    if tracker is not None:
+                        tracker.lock_acquired(id(self._lock))
+                        for loc in shard_locs:
+                            tracker.access(
+                                loc, write=True, where=f"worker{worker}.push@{i}"
+                            )
                     self.system.s_push(worker, i, update)
                     self.system.s_pull(worker, i, on_complete)
+                    if tracker is not None:
+                        for loc in shard_locs:
+                            tracker.access(
+                                loc, write=False, where=f"worker{worker}.pull@{i}"
+                            )
+                        tracker.lock_released(id(self._lock))
                 # The pull may have completed synchronously (condition held)
                 # or will be completed by another worker's push later.
                 t_pull = time.monotonic()
@@ -145,6 +198,8 @@ class ThreadedRunner:
                         f"worker {worker} pull for iteration {i} timed out after "
                         f"{self.timeout_s}s (possible deadlock)"
                     )
+                if tracker is not None:
+                    tracker.event_waited(id(done))
                 pull_block = time.monotonic() - t_pull
                 h_pull.observe(pull_block)
                 q_pull.observe(pull_block)
@@ -155,6 +210,9 @@ class ThreadedRunner:
                 q_iter.observe(iter_wall)
         except BaseException as exc:  # propagate to the caller thread
             errors.append(exc)
+        finally:
+            if tracker is not None:
+                self._end_tokens[worker] = tracker.end_thread()
 
     def run(self) -> ThreadedResult:
         """Start all worker threads, join them, and aggregate results.
@@ -182,10 +240,11 @@ class ThreadedRunner:
                 runner="threaded", n_workers=self.system.n_workers,
                 n_servers=n_servers,
             )
+        tracker = self.race_tracker
         threads = [
             threading.Thread(
                 target=self._worker_loop,
-                args=(w, errors),
+                args=(w, errors, tracker.fork() if tracker is not None else None),
                 name=f"fluentps-worker-{w}",
                 daemon=True,
             )
@@ -196,6 +255,10 @@ class ThreadedRunner:
         deadline = time.monotonic() + self.timeout_s + self.join_grace_s
         for t in threads:
             t.join(max(0.0, deadline - time.monotonic()))
+        if tracker is not None:
+            for w, t in enumerate(threads):
+                if not t.is_alive():
+                    tracker.join_thread(self._end_tokens.get(w))
         alive = [t.name for t in threads if t.is_alive()]
         if alive:
             progress = {
@@ -208,6 +271,11 @@ class ThreadedRunner:
                 )
             )
         wall = time.monotonic() - self._t0
+        if tracker is not None:
+            # The final parameter read below happens-after every joined
+            # worker; an unjoined (hung) worker would legitimately race.
+            for m in range(getattr(self.system, "n_servers", 0)):
+                tracker.access(f"shard{m}.params", write=False, where="run.final")
         if capture is not None and not errors:
             capture.complete = True
         return ThreadedResult(

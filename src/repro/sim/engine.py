@@ -315,7 +315,15 @@ class EventHandle:
 class Engine:
     """The event loop.  All times are simulated seconds, starting at 0."""
 
-    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_daemon_pending", "_tombstones")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_events_processed",
+        "_daemon_pending",
+        "_tombstones",
+        "_choice_hook",
+    )
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -325,6 +333,8 @@ class Engine:
         self._daemon_pending = 0  # scheduled call_every ticks (see below)
         #: Tombstoned seqs: cancelled events awaiting discard-on-pop.
         self._tombstones: Set[int] = set()
+        #: Optional scheduling choice hook (see :meth:`set_choice_hook`).
+        self._choice_hook: Optional[Callable[[float, List[Tuple]], int]] = None
 
     # -- raw callback scheduling --------------------------------------
 
@@ -445,8 +455,71 @@ class Engine:
 
     # -- running --------------------------------------------------------
 
+    def set_choice_hook(
+        self, hook: Optional[Callable[[float, List[Tuple]], int]]
+    ) -> None:
+        """Install (or clear, with ``None``) a scheduling choice hook.
+
+        The default drain resolves same-timestamp ties in scheduling order
+        (``seq``).  With a hook installed, every group of two or more live
+        events tied at the next timestamp is handed to
+        ``hook(when, group)`` — ``group`` is the list of ``(when, seq, fn,
+        arg)`` heap entries in seq order — and the returned index picks
+        which one runs first; the rest go back on the heap (keeping their
+        seqs, so the default FIFO order among them is preserved until the
+        hook is consulted again).  Index 0 reproduces the default
+        schedule exactly.
+
+        This is the model checker's commutation point
+        (:mod:`repro.analysis.explore`): it only affects the slow
+        per-event path, never the inlined fast drain, so hookless runs
+        pay nothing.
+        """
+        self._choice_hook = hook
+
+    def _step_choice(self) -> bool:
+        """One event via the choice hook: collect the live tie group at
+        the next timestamp, let the hook pick, push the rest back."""
+        heap = self._heap
+        tombstones = self._tombstones
+        group: List[Tuple[float, int, Callable[[Any], None], Any]] = []
+        # Pop every live entry tied at the next timestamp (seq order).
+        while heap:
+            entry = _heappop(heap)
+            if tombstones and entry[1] in tombstones:
+                tombstones.discard(entry[1])
+                continue
+            if not group:
+                group.append(entry)
+            elif entry[0] <= group[0][0]:
+                group.append(entry)
+            else:
+                _heappush(heap, entry)
+                break
+        if not group:
+            return False
+        choice = 0
+        if len(group) > 1:
+            choice = self._choice_hook(group[0][0], group)
+            if not 0 <= choice < len(group):
+                raise SimulationError(
+                    f"choice hook returned {choice} for a group of {len(group)}"
+                )
+            for i, entry in enumerate(group):
+                if i != choice:
+                    _heappush(heap, entry)
+        when, _seq, fn, arg = group[choice]
+        if when < self.now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self.now = when
+        self._events_processed += 1
+        fn(arg)
+        return True
+
     def step(self) -> bool:
         """Run one event; returns False when the queue is empty."""
+        if self._choice_hook is not None:
+            return self._step_choice()
         heap = self._heap
         tombstones = self._tombstones
         while heap:
@@ -465,6 +538,12 @@ class Engine:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain events (optionally only up to time ``until``); returns now."""
         if until is None and max_events is None:
+            if self._choice_hook is not None:
+                # Choice-hook runs route through the per-event slow path:
+                # correctness tooling, not a perf surface.
+                while self._step_choice():
+                    pass
+                return self.now
             # Fast drain: the inlined loop over local refs is what every
             # full simulation pays per event (see repro.bench.perf).  The
             # gen-0 GC threshold is raised for the drain (see module

@@ -152,6 +152,7 @@ class Network:
         "fast_path_transfers",
         "fallback_transfers",
         "causal",
+        "delay_hook",
         "_next_msg_id",
         "_fabric",
         "_delivery_hooks",
@@ -203,6 +204,14 @@ class Network:
         #: *reads* the already-fixed timeline, so timestamps are
         #: bit-identical with tracing on or off.
         self.causal = None
+        #: Optional bounded delivery perturbation: ``delay_hook(msg)``
+        #: returns extra seconds of RX-side hold for that message.  The
+        #: extra time extends the receiver's RX cursor (fast path) or the
+        #: drain yield (fallback), so per-(src, dst) FIFO ordering — the
+        #: push-before-pull contract the runner relies on — is preserved;
+        #: only cross-sender arrival interleavings change.  Used by the
+        #: schedule explorer (:mod:`repro.analysis.explore`).
+        self.delay_hook: Optional[Callable[[Message], float]] = None
         self._delivery_hooks: List[Callable[[Message], None]] = []
         #: Hot-path bindings: one attribute load instead of a descriptor
         #: walk per event.  The fast path pushes ``(when, seq, fn, arg)``
@@ -345,6 +354,12 @@ class Network:
         src_ep.messages_sent += 1
         rx_free = dst_ep.rx_free_at
         rx_end = (rx_free if rx_free > arrival else arrival) + rx_hold
+        delay_hook = self.delay_hook
+        if delay_hook is not None:
+            extra = delay_hook(msg)
+            if extra < 0:
+                raise ValueError(f"delay_hook returned negative delay {extra}")
+            rx_end += extra
         dst_ep.rx_free_at = rx_end
         causal = self.causal
         if causal is not None:
@@ -437,7 +452,16 @@ class Network:
             # Receiver-side drain (incast point).
             yield dst_ep.rx.acquire()
             rx_hold = dst_ep.serialize_time(msg.size_bytes)
-            yield rx_hold
+            delay_hook = self.delay_hook
+            if delay_hook is not None:
+                extra = delay_hook(msg)
+                if extra < 0:
+                    raise ValueError(f"delay_hook returned negative delay {extra}")
+                # Extend the lane hold (not just the delivery) so the
+                # cursor semantics match the fast path exactly.
+                yield rx_hold + extra
+            else:
+                yield rx_hold
             dst_ep.rx.release()
             if self._fabric is not None:
                 self._fabric.release()

@@ -1,4 +1,4 @@
-"""Tests for the custom AST lint pass (ANA001–ANA005)."""
+"""Tests for the custom AST lint pass (ANA001–ANA007)."""
 
 import textwrap
 from pathlib import Path
@@ -260,6 +260,166 @@ class TestDocstrings:
             rel="repro/util.py",
         )
         assert "ANA005" not in codes
+
+
+class TestSetOrder:
+    def test_loop_over_set_into_schedule_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            def f(engine, pending):
+                for node in set(pending):
+                    engine.schedule(1.0, node)
+            ''',
+        )
+        assert "ANA006" in codes
+
+    def test_set_display_into_heappush_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import heapq
+            def f(heap, a, b):
+                for x in {a, b}:
+                    heapq.heappush(heap, x)
+            ''',
+        )
+        assert "ANA006" in codes
+
+    def test_set_comprehension_arg_to_dumps_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import json
+            def f(items):
+                return json.dumps([x.name for x in {i for i in items}])
+            ''',
+        )
+        assert "ANA006" in codes
+
+    def test_sorted_set_is_clean(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            def f(engine, pending):
+                for node in sorted(set(pending)):
+                    engine.schedule(1.0, node)
+            ''',
+        )
+        assert "ANA006" not in codes
+
+    def test_set_loop_without_order_sink_is_clean(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            def f(pending):
+                total = 0
+                for node in set(pending):
+                    total += node.cost
+                return total
+            ''',
+        )
+        assert "ANA006" not in codes
+
+    def test_outside_sim_core_is_clean(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            def f(engine, pending):
+                for node in set(pending):
+                    engine.schedule(1.0, node)
+            ''',
+            rel="repro/bench/ok.py",
+        )
+        assert "ANA006" not in codes
+
+
+class TestCoroutineOSCalls:
+    def test_time_sleep_in_generator_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import time
+            def proc(env):
+                time.sleep(0.1)
+                yield 1.0
+            ''',
+        )
+        assert "ANA007" in codes
+
+    def test_threading_event_in_generator_flagged(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import threading
+            def proc(env):
+                done = threading.Event()
+                yield 1.0
+                done.wait()
+            ''',
+        )
+        assert "ANA007" in codes
+
+    def test_aliased_import_resolved(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            from time import sleep
+            def proc(env):
+                sleep(0.1)
+                yield 1.0
+            ''',
+        )
+        assert "ANA007" in codes
+
+    def test_plain_function_is_clean(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import time
+            def helper():
+                time.sleep(0.1)
+            ''',
+        )
+        assert "ANA007" not in codes
+
+    def test_nested_plain_def_inside_generator_is_clean(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import time
+            def proc(env):
+                def callback():
+                    time.sleep(0.1)
+                yield callback
+            ''',
+        )
+        assert "ANA007" not in codes
+
+    def test_outside_sim_core_is_clean(self, tmp_path):
+        codes = lint_snippet(
+            tmp_path,
+            '''
+            """Mod."""
+            import time
+            def proc(env):
+                time.sleep(0.1)
+                yield 1.0
+            ''',
+            rel="repro/bench/ok.py",
+        )
+        assert "ANA007" not in codes
 
 
 class TestRealTree:

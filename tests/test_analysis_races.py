@@ -1,0 +1,163 @@
+"""Tests for the happens-before race detector (repro.analysis.races)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.races import RaceTracker
+from repro.bench.workloads import blobs_task
+from repro.core.api import ParameterServerSystem
+from repro.core.models import ssp
+from repro.core.server import ExecutionMode
+from repro.parallel.threaded import ThreadedRunner
+
+pytestmark = pytest.mark.no_sanitize  # no simulated protocol streams here
+
+
+def _spawn(tracker, fn):
+    token = tracker.fork()
+
+    def body():
+        tracker.begin_thread(token)
+        fn()
+        tracker.end_thread()
+
+    t = threading.Thread(target=body)
+    t.start()
+    return t
+
+
+class TestTrackerCore:
+    def test_unsynchronized_writes_flag_r001(self):
+        tracker = RaceTracker()
+        ts = [_spawn(tracker, lambda: tracker.access("x", write=True)) for _ in range(2)]
+        for t in ts:
+            t.join()
+        codes = [v.code for v in tracker.report().violations]
+        assert codes == ["R001"]
+
+    def test_read_write_race_flags_r002(self):
+        tracker = RaceTracker()
+        barrier = threading.Barrier(2)
+
+        def writer():
+            barrier.wait()
+            tracker.access("x", write=True)
+
+        def reader():
+            barrier.wait()
+            tracker.access("x", write=False)
+
+        ts = [_spawn(tracker, writer), _spawn(tracker, reader)]
+        for t in ts:
+            t.join()
+        codes = {v.code for v in tracker.report().violations}
+        assert codes == {"R002"}
+
+    def test_lock_ordered_accesses_are_clean(self):
+        tracker = RaceTracker()
+        lock = threading.Lock()
+
+        def body():
+            for _ in range(20):
+                with lock:
+                    tracker.lock_acquired(id(lock))
+                    tracker.access("x", write=True)
+                    tracker.lock_released(id(lock))
+
+        ts = [_spawn(tracker, body) for _ in range(3)]
+        for t in ts:
+            t.join()
+        assert tracker.report().ok
+
+    def test_event_edge_orders_accesses(self):
+        tracker = RaceTracker()
+        done = threading.Event()
+
+        def setter():
+            tracker.access("x", write=True)
+            tracker.event_set(id(done))
+            done.set()
+
+        def waiter():
+            done.wait(5.0)
+            tracker.event_waited(id(done))
+            tracker.access("x", write=False)
+
+        ts = [_spawn(tracker, setter), _spawn(tracker, waiter)]
+        for t in ts:
+            t.join()
+        assert tracker.report().ok
+
+    def test_fork_join_edges_order_parent_accesses(self):
+        tracker = RaceTracker()
+        tracker.access("x", write=True)  # parent, before fork
+        token = tracker.fork()
+        end_box = {}
+
+        def child():
+            tracker.begin_thread(token)
+            tracker.access("x", write=True)  # ordered after parent's write
+            end_box["t"] = tracker.end_thread()
+
+        t = threading.Thread(target=child)
+        t.start()
+        t.join()
+        tracker.join_thread(end_box["t"])
+        tracker.access("x", write=False)  # parent, after join
+        assert tracker.report().ok
+
+    def test_report_caps_and_dedups(self):
+        tracker = RaceTracker(max_reports=1)
+        ts = [
+            _spawn(tracker, lambda: [tracker.access(f"loc{i}", write=True) for i in range(5)])
+            for _ in range(2)
+        ]
+        for t in ts:
+            t.join()
+        assert len(tracker.report().violations) <= 1
+
+
+class TestThreadedRunnerIntegration:
+    def _system(self, n=3, servers=2, seed=0):
+        task = blobs_task(n, n_train=120, n_test=40, seed=seed)
+        system = ParameterServerSystem(
+            task.spec, task.init_params, n, servers, ssp(1),
+            ExecutionMode.LAZY, seed=seed,
+        )
+        return task, system
+
+    def test_stock_runner_is_race_free(self):
+        task, system = self._system()
+        tracker = RaceTracker()
+        result = ThreadedRunner(
+            system, task.step_fn, max_iter=25, seed=1, race_tracker=tracker
+        ).run()
+        assert result.ok, result.worker_errors
+        report = tracker.report()
+        assert report.ok, [v.message for v in report.violations]
+        assert report.n_events > 0
+
+    def test_rogue_unlocked_access_is_flagged(self):
+        # A step_fn that touches shared parameter state outside the lock
+        # models the bug class the detector exists for.
+        task, system = self._system()
+        tracker = RaceTracker()
+
+        def rogue_step(ctx):
+            tracker.access("shard0.params", write=True, where="rogue_step")
+            return task.step_fn(ctx)
+
+        result = ThreadedRunner(
+            system, rogue_step, max_iter=25, seed=1, race_tracker=tracker
+        ).run()
+        assert result.ok, result.worker_errors
+        codes = {v.code for v in tracker.report().violations}
+        assert "R001" in codes or "R002" in codes
+
+    def test_runner_without_tracker_unchanged(self):
+        task, system = self._system()
+        result = ThreadedRunner(system, task.step_fn, max_iter=10, seed=1).run()
+        assert result.ok
+        assert np.isfinite(result.final_params).all()

@@ -450,3 +450,55 @@ class TestCancellation:
         eng.call_in(0.5, lambda a, b, c: seen.append((a, b, c)), 3, 4, 5)
         eng.run()
         assert seen == [(1, 2), (3, 4, 5)]
+
+
+class TestTieOrderUnderCancellation:
+    """Tombstone cancellation must never reorder surviving same-time events.
+
+    Satellite property for the schedule explorer: its FIFO-default choice
+    hook assumes tie groups present candidates in seq (schedule) order
+    even after cancel + re-post churn at the same timestamp.
+    """
+
+    @given(
+        n=st.integers(min_value=3, max_value=8),
+        cancel_mask=st.lists(st.booleans(), min_size=3, max_size=8),
+        n_repost=st.integers(min_value=0, max_value=4),
+        use_hook=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_survivors_run_in_schedule_order(self, n, cancel_mask, n_repost, use_hook):
+        eng = Engine()
+        if use_hook:
+            # A hook that always takes the default must be a no-op.
+            eng.set_choice_hook(lambda when, group: 0)
+        seen = []
+        handles = [eng.schedule(1.0, seen.append, i) for i in range(n)]
+        mask = (cancel_mask * n)[:n]
+        for h, dead in zip(handles, mask):
+            if dead:
+                h.cancel()
+        # Re-post at the *same* timestamp after cancelling: the new events
+        # take fresh seqs, so they run after every original survivor.
+        for j in range(n_repost):
+            eng.schedule(1.0, seen.append, n + j)
+        eng.run()
+        survivors = [i for i, dead in enumerate(mask) if not dead]
+        assert seen == survivors + [n + j for j in range(n_repost)]
+
+    @given(
+        cancel_idx=st.integers(min_value=0, max_value=5),
+        use_hook=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cancel_then_repost_same_slot(self, cancel_idx, use_hook):
+        eng = Engine()
+        if use_hook:
+            eng.set_choice_hook(lambda when, group: 0)
+        seen = []
+        handles = [eng.schedule(2.0, seen.append, i) for i in range(6)]
+        handles[cancel_idx].cancel()
+        eng.schedule(2.0, seen.append, "repost")
+        eng.run()
+        expected = [i for i in range(6) if i != cancel_idx] + ["repost"]
+        assert seen == expected
