@@ -356,6 +356,14 @@ def _sim_config(cfg: ExploreConfig):
         # group its deliveries arrived in (ordering freedom, no skew).
         server_op_overhead_s=0.0,
         dpr_overhead_s=0.0,
+        # The independence relation in ``_conflict_key`` is stated over
+        # the inbox-loop event structure (an ``rx`` event only appends;
+        # handling runs in a later resume event).  The direct dispatcher
+        # folds handling into the ``rx`` event itself, which changes
+        # what a tie flip reorders — so exploration always drives the
+        # proc oracle.  Direct-vs-proc equivalence on natural schedules
+        # is covered by the dispatch differential tests instead.
+        server_dispatch="proc",
         # Keep periodic scrapes far out of the protocol's tie groups.
         snapshot_interval_s=10.0,
     )

@@ -41,6 +41,7 @@ from repro.bench.figures import (
 )
 from repro.bench.harness import SCALES, Scale, emit_observability
 from repro.bench.pool import RunCache, SweepExecutor, WorkerFailure
+from repro.bench.scale_grid import scale_grid
 from repro.bench.tables import table1_model_matrix, table3_conditions, table4_grid
 from repro.bench.theory_bench import theory_bounds
 from repro.obs import MetricsRegistry, Observability, observed
@@ -80,6 +81,7 @@ EXPERIMENTS: Dict[str, Callable[[Scale, int, Optional[SweepExecutor]], object]] 
     "ablation-network": lambda scale, seed, pool: ablation_network_sensitivity(
         scale, seed=seed, pool=pool
     ),
+    "scale-grid": lambda scale, seed, pool: scale_grid(scale, seed=seed, pool=pool),
 }
 
 

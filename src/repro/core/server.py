@@ -152,6 +152,7 @@ class ShardServer:
         snapshot_params: bool = True,
         metrics: Optional[SyncMetrics] = None,
         obs: Optional[Observability] = None,
+        batch_apply: Optional[bool] = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -159,7 +160,7 @@ class ShardServer:
         self.n_workers = n_workers
         self.model = model
         self.execution = execution
-        self.params = params
+        self._params = params
         self.apply_fn = apply_fn
         self.clock = clock or (lambda: 0.0)
         self.rng = rng or np.random.default_rng(0)
@@ -224,7 +225,27 @@ class ShardServer:
         self.callbacks: Dict[int, List[_BufferedPull]] = defaultdict(list)
         self.worker_progress: List[int] = [-1] * n_workers  # last pushed iteration
         self.last_pull_progress: List[int] = [-1] * n_workers  # last accepted pull
-        self.last_significance = 0.0
+        self._last_significance = 0.0
+        # Incremental fastest/slowest over ``worker_progress``: at 10k
+        # workers the per-view ``max(wp)``/``min(wp)`` scans dominate the
+        # macro run.  ``_fastest`` is a monotone max; ``_slowest`` tracks
+        # the min with a membership count, rescanning only when the last
+        # worker leaves the minimum (amortized O(1) per push).
+        self._fastest = -1
+        self._slowest = -1
+        self._n_at_slowest = n_workers
+        # Batched gradient application: same-version pushes accumulate here
+        # and are reduced in one vectorized pass at the next observation
+        # point (snapshot/params/significance read, restore, ineligible
+        # push).  Deferral is bit-identical to per-push ``default_apply``
+        # (row-wise in-order adds of ``g / N``) and is only enabled when no
+        # installed condition can observe per-push significance — see
+        # ``_batch_eligible``.
+        self._batch_apply_opt = batch_apply
+        self._pending_grads: List[np.ndarray] = []
+        self.batched_applies = 0  # pushes whose apply was deferred
+        self.apply_flushes = 0  # vectorized reductions performed
+        self._batch_on = self._batch_eligible()
         #: Worker whose push is currently being applied; DPR releases
         #: happen inside ``handle_push`` -> ``_try_advance``, so this names
         #: the straggler that each released pull was waiting on (-1 when
@@ -238,22 +259,100 @@ class ShardServer:
     # -- views ------------------------------------------------------------
 
     def _view(self, progress: int, worker: int) -> SyncView:
-        wp = self.worker_progress
         return SyncView(
             progress=progress,
             worker=worker,
             v_train=self.v_train,
             n_workers=self.n_workers,
             count=self.count,
-            fastest=max(wp),
-            slowest=min(wp),
-            significance=self.last_significance,
+            fastest=self._fastest,
+            slowest=self._slowest,
+            significance=self._last_significance,
             rng=self.rng,
         )
 
     @property
+    def params(self) -> Optional[np.ndarray]:
+        """The live shard array, with any deferred applies flushed first."""
+        self._flush_applies()
+        return self._params
+
+    @params.setter
+    def params(self, value: Optional[np.ndarray]) -> None:
+        self._flush_applies()
+        self._params = value
+
+    @property
+    def last_significance(self) -> float:
+        """Significance of the latest applied gradient (PSSP dynamic-c
+        input), with any deferred applies flushed first."""
+        self._flush_applies()
+        return self._last_significance
+
+    @last_significance.setter
+    def last_significance(self, value: float) -> None:
+        self._flush_applies()
+        self._last_significance = value
+
+    @property
     def buffered_pulls(self) -> int:
         return sum(len(v) for v in self.callbacks.values())
+
+    # -- batched gradient application ---------------------------------------
+
+    def _batch_eligible(self) -> bool:
+        """Whether same-version pushes may defer their apply.
+
+        Deferral changes *when* ``params`` and ``last_significance`` are
+        materialized, never their values, so it is allowed only when no
+        installed condition can observe the intermediate states: the apply
+        must be the stock ``w += g/N`` rule, the push condition must be a
+        structural quorum (``quorum() is not None``), and the pull
+        condition must not consume per-push significance — SSP/DSPS never
+        do; PSSP only with a constant-c probability model.  Constructing
+        with ``batch_apply=True`` overrides the condition checks (caller
+        asserts their custom conditions ignore significance);
+        ``batch_apply=False`` disables deferral outright.
+        """
+        if self._batch_apply_opt is False:
+            return False
+        if self.apply_fn is not default_apply:
+            return False
+        if self._batch_apply_opt is True:
+            return True
+        if push_condition_quorum(self.push_con, self.n_workers) is None:
+            return False
+        kind = pull_condition_kind(self.pull_con)
+        if kind in ("ssp", "dsps"):
+            return True
+        return kind == "pssp" and pull_condition_pssp_c(self.pull_con) is not None
+
+    def _flush_applies(self) -> None:
+        """Apply all deferred gradients in push order, one reduction.
+
+        Bit-identical to the eager path: each row of the stacked batch is
+        divided by N and added to ``params`` in arrival order (IEEE-754
+        elementwise ops are independent per element, so ``stack /= N``
+        equals per-grad ``g / N``), and the final significance is computed
+        from the last gradient against the fully-applied params — exactly
+        the value the last eager push would have left behind.
+        """
+        pending = self._pending_grads
+        if not pending:
+            return
+        self._pending_grads = []
+        params = self._params
+        if len(pending) == 1:
+            params += pending[0] / self.n_workers
+        else:
+            stack = np.stack(pending)
+            stack /= self.n_workers
+            for row in stack:
+                params += row
+        self.apply_flushes += 1
+        self._last_significance = gradient_significance(
+            float(np.linalg.norm(pending[-1])), float(np.linalg.norm(params))
+        )
 
     # -- protocol event stream (consumed by repro.analysis) -----------------
 
@@ -291,10 +390,12 @@ class ShardServer:
         """Install new pull/push conditions (the SetcondPull/SetcondPush
         backends); re-arms the config event so the sanitizer sees the new
         protocol parameters from the next handled request on."""
+        self._flush_applies()
         if pull is not None:
             self.pull_con = pull
         if push is not None:
             self.push_con = push
+        self._batch_on = self._batch_eligible()
         self._config_log = None
 
     # -- Algorithm 1: PushHandler ------------------------------------------
@@ -325,20 +426,34 @@ class ShardServer:
                 progress=progress, v_train=self.v_train,
             )
         self.worker_progress[worker] = progress
+        if progress > self._fastest:
+            self._fastest = progress
+        if progress - 1 == self._slowest:  # this worker was at the minimum
+            self._n_at_slowest -= 1
+            if self._n_at_slowest == 0:
+                wp = self.worker_progress
+                self._slowest = min(wp)
+                self._n_at_slowest = wp.count(self._slowest)
 
-        if grad is not None and self.params is not None:
-            if grad.shape != self.params.shape:
+        if grad is not None and self._params is not None:
+            if grad.shape != self._params.shape:
                 raise ProtocolError(
-                    f"gradient shape {grad.shape} != shard shape {self.params.shape}"
+                    f"gradient shape {grad.shape} != shard shape {self._params.shape}"
                 )
-            info = ApplyInfo(worker, progress, self.v_train, self.n_workers)
-            self.apply_fn(self.params, grad, info)
-            if significance is None:
-                significance = gradient_significance(
-                    float(np.linalg.norm(grad)), float(np.linalg.norm(self.params))
-                )
+            if self._batch_on and significance is None and self.apply_fn is default_apply:
+                self._pending_grads.append(grad)
+                self.batched_applies += 1
+            else:
+                self._flush_applies()
+                info = ApplyInfo(worker, progress, self.v_train, self.n_workers)
+                self.apply_fn(self._params, grad, info)
+                if significance is None:
+                    significance = gradient_significance(
+                        float(np.linalg.norm(grad)), float(np.linalg.norm(self._params))
+                    )
         if significance is not None:
-            self.last_significance = float(significance)
+            self._flush_applies()
+            self._last_significance = float(significance)
         self.version += 1
         self._snap_cache = None  # COW invalidation: state changed
         self.count[progress] += 1
@@ -560,13 +675,14 @@ class ShardServer:
         With ``snapshot_params=False`` the live array is returned as
         before (trusted callers, zero copies).
         """
-        if self.params is None:
+        self._flush_applies()
+        if self._params is None:
             return None
         if not self.snapshot_params:
-            return self.params
+            return self._params
         snap = self._snap_cache
         if snap is None or self._snap_version != self.version:
-            snap = self.params.copy()
+            snap = self._params.copy()
             snap.flags.writeable = False
             self._snap_cache = snap
             self._snap_version = self.version
@@ -596,14 +712,15 @@ class ShardServer:
                 f"shard {self.shard_id}: restore with {self.buffered_pulls} "
                 "buffered DPRs (restore requires quiescence)"
             )
+        self._flush_applies()
         worker_progress = [int(p) for p in shard_state["worker_progress"]]
         if len(worker_progress) != self.n_workers:
             raise ProtocolError(
                 f"checkpoint has {len(worker_progress)} workers, "
                 f"server has {self.n_workers}"
             )
-        if params is not None and self.params is not None:
-            self.params[...] = params
+        if params is not None and self._params is not None:
+            self._params[...] = params
         self.v_train = int(shard_state["v_train"])
         self.version = int(shard_state["version"])
         # COW invalidation: a restore can reinstate the *same* version
@@ -616,6 +733,9 @@ class ShardServer:
             {int(k): int(v) for k, v in dict(shard_state["count"]).items()}
         )
         self.worker_progress = worker_progress
+        self._fastest = max(worker_progress)
+        self._slowest = min(worker_progress)
+        self._n_at_slowest = worker_progress.count(self._slowest)
         self.last_pull_progress = [-1] * self.n_workers
         self.last_significance = float(shard_state["last_significance"])
         self.callbacks.clear()

@@ -33,11 +33,15 @@ class ServerSnapshotter:
         servers: Sequence,
         network=None,
         nodes: Optional[Sequence[str]] = None,
+        engine=None,
     ):
         """``nodes`` limits NIC gauges to the named endpoints (typically
-        the server nodes — the incast side); default is all endpoints."""
+        the server nodes — the incast side); default is all endpoints.
+        ``engine`` adds fast-forward health gauges (events skipped by
+        mesoscale windows, windows collapsed, calendar sweeps)."""
         self.servers = list(servers)
         self.network = network
+        self.engine = engine
         self.nodes: List[str] = (
             list(nodes)
             if nodes is not None
@@ -92,10 +96,22 @@ class ServerSnapshotter:
             )
             for s in self.servers
         ]
+        self._g_skipped = registry.gauge(
+            "engine_events_skipped", "events fast-forwarded past heap maintenance"
+        )
+        self._g_collapsed = registry.gauge(
+            "engine_windows_collapsed", "mesoscale windows drained without heap ops"
+        )
+        self._g_sweeps = registry.gauge(
+            "engine_calendar_sweeps", "heap-to-calendar migrations performed"
+        )
         self._b_inflight = self._g_inflight.labels()
         self._b_net_bytes = self._g_net_bytes.labels()
         self._b_fast = self._g_fast.labels()
         self._b_fallback = self._g_fallback.labels()
+        self._b_skipped = self._g_skipped.labels()
+        self._b_collapsed = self._g_collapsed.labels()
+        self._b_sweeps = self._g_sweeps.labels()
         self._per_node = (
             [
                 (
@@ -130,6 +146,10 @@ class ServerSnapshotter:
             b_age.set(oldest_buffered_age(server, now))
             b_copies.set(server.snapshot_copies)
             b_avoided.set(server.snapshot_copies_avoided)
+        if self.engine is not None:
+            self._b_skipped.set(self.engine.events_skipped)
+            self._b_collapsed.set(self.engine.windows_collapsed)
+            self._b_sweeps.set(self.engine.calendar_sweeps)
         if self.network is not None:
             self._b_inflight.set(self.network.bytes_in_flight)
             self._b_net_bytes.set(self.network.total_bytes)
@@ -150,8 +170,14 @@ class ServerSnapshotter:
     def finalize(self, now: float) -> None:
         """Emit the end-of-run snapshot so the last partial sampling
         period is never dropped; a no-op when the periodic scrape already
-        sampled at (or after) ``now``."""
+        sampled at (or after) ``now`` — except for the engine counters,
+        which only accumulate when the drain returns (every mid-run
+        scrape reads zero), so they are always re-set here."""
         if self._last_scrape_t is not None and not (now > self._last_scrape_t):
+            if self.engine is not None:
+                self._b_skipped.set(self.engine.events_skipped)
+                self._b_collapsed.set(self.engine.windows_collapsed)
+                self._b_sweeps.set(self.engine.calendar_sweeps)
             return
         self.scrape(now)
 

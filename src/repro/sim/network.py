@@ -89,6 +89,7 @@ class Endpoint:
         "tx",
         "rx",
         "inbox",
+        "sink",
         "bytes_sent",
         "bytes_received",
         "messages_sent",
@@ -106,6 +107,12 @@ class Endpoint:
         self.tx = Resource(engine, capacity=1, name=f"{node_id}.tx")
         self.rx = Resource(engine, capacity=1, name=f"{node_id}.rx")
         self.inbox = Store(engine, name=f"{node_id}.inbox")
+        #: Direct-dispatch hook: when set, delivered messages are handed
+        #: to ``sink(msg)`` synchronously inside the delivery event
+        #: instead of being appended to :attr:`inbox` — no Store/Signal
+        #: round-trip, no resume event.  The consumer owns its own FIFO
+        #: discipline (see the runner's busy-window dispatcher).
+        self.sink: Optional[Callable[["Message"], None]] = None
         self.bytes_sent = 0
         self.bytes_received = 0
         self.messages_sent = 0
@@ -403,11 +410,15 @@ class Network:
         engine = self.engine
         msg.deliver_time = engine.now
         if deliver_to_inbox:
-            inbox = dst_ep.inbox
-            if inbox._getters:
-                inbox.put(msg)
+            sink = dst_ep.sink
+            if sink is not None:
+                sink(msg)
             else:
-                inbox._items.append(msg)
+                inbox = dst_ep.inbox
+                if inbox._getters:
+                    inbox.put(msg)
+                else:
+                    inbox._items.append(msg)
         hooks = self._delivery_hooks
         if hooks:
             for hook in hooks:
@@ -496,7 +507,10 @@ class Network:
         self.total_messages += 1
         msg.deliver_time = self.engine.now
         if deliver_to_inbox:
-            dst_ep.inbox.put(msg)
+            if dst_ep.sink is not None:
+                dst_ep.sink(msg)
+            else:
+                dst_ep.inbox.put(msg)
         for hook in self._delivery_hooks:
             hook(msg)
         done.fire(msg)

@@ -20,8 +20,10 @@ ResNet-56-sized transfers while the gradients stay cheap to compute.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from functools import partial
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -81,10 +83,33 @@ class SimConfig:
     obs: Optional[Observability] = None
     #: Snapshot scrape period in sim seconds; None → half a base compute.
     snapshot_interval_s: Optional[float] = None
+    #: Engine calendar queue: None → auto (migrate past the pending-count
+    #: threshold), False → binary heap only (the differential-testing
+    #: slow path), True → same as auto (the calendar still only engages
+    #: past the threshold).  See docs/PERFORMANCE.md, "Mesoscale
+    #: fast-forward and the calendar queue".
+    engine_calendar: Optional[bool] = None
+    #: Pending-event count that triggers calendar migration; None → the
+    #: engine default.
+    engine_calendar_threshold: Optional[int] = None
+    #: Server request dispatch.  ``"direct"`` (default) handles each
+    #: delivered request inside the delivery event via the endpoint sink:
+    #: no inbox round-trip, no per-request resume event — a busy server
+    #: parks arrivals and drains them FIFO when its busy window closes.
+    #: ``"proc"`` runs the classic one-generator-per-server inbox loop
+    #: and is the dispatch differential oracle.  Handle times and
+    #: per-server FIFO order are bit-identical between the two; only the
+    #: event structure differs.
+    server_dispatch: str = "direct"
 
     def __post_init__(self) -> None:
         if self.max_iter < 1:
             raise ValueError("max_iter must be >= 1")
+        if self.server_dispatch not in ("direct", "proc"):
+            raise ValueError(
+                f"server_dispatch must be 'direct' or 'proc', "
+                f"got {self.server_dispatch!r}"
+            )
         if self.task is None and self.workload is None:
             raise ValueError("need a TrainingTask and/or a Workload")
         if self.task is not None and self.task.n_workers != self.cluster.n_workers:
@@ -184,7 +209,10 @@ class FluentPSSimRunner:
 
     def __init__(self, config: SimConfig):
         self.cfg = config
-        self.engine = Engine()
+        self.engine = Engine(
+            calendar=config.engine_calendar,
+            calendar_threshold=config.engine_calendar_threshold,
+        )
         self.net: Network = config.cluster.make_network(self.engine)
         self.obs = config.obs or current_observability()
         # Observability implies a full span capture for trace export.
@@ -249,6 +277,18 @@ class FluentPSSimRunner:
         self.eval_by_time = SeriesRecord("eval", x_label="time_s", y_label="metric")
         self.eval_by_iteration = SeriesRecord("eval", x_label="iteration", y_label="metric")
         self._finish_times: List[float] = [0.0] * n
+        # Direct-dispatch state (also read by the proc loop): per-server
+        # busy-window close time, parked arrivals, and whether a drain
+        # event is already on the calendar for that server.
+        self._direct = config.server_dispatch == "direct"
+        self._srv_names = [f"server{j}" for j in range(m)]
+        self._srv_busy = [0.0] * m
+        self._srv_queue: List[Deque[Message]] = [deque() for _ in range(m)]
+        self._srv_drain_pending = [False] * m
+        #: Dispatch counters (perf detail): requests handled inline in
+        #: the delivery event vs. parked behind a busy server and drained.
+        self.server_msgs_inline = 0
+        self.server_msgs_drained = 0
 
     @staticmethod
     def _normalize_models(
@@ -269,52 +309,88 @@ class FluentPSSimRunner:
     # -- server side ----------------------------------------------------------
 
     def _server_proc(self, m: int):
+        """Classic inbox loop (``server_dispatch="proc"``): one generator
+        per server, resumed once per request plus once per busy window.
+        The dispatch differential oracle — both paths share
+        :meth:`_handle_server_msg`, so handle times and per-server FIFO
+        order match the direct dispatcher bit-for-bit; only the event
+        structure (inbox resume + timeout vs. inline + drain) differs."""
         ep = self.net.endpoint(self.cfg.cluster.server_id(m))
-        server = self.servers[m]
-        causal = self.causal
-        actor = f"server{m}"
         while True:
             msg: Message = yield ep.inbox.get()
-            payload = msg.payload
-            # ``tip`` tracks the request's causal frontier through the
-            # server: delivery rx -> inbox backlog -> apply/DPR wait.
-            tip = msg.cause_id
-            if causal is not None and self.engine.now > msg.deliver_time:
-                tip = causal.record(
-                    tip, actor, "server_queue", msg.deliver_time, self.engine.now,
+            cost = self._handle_server_msg(m, msg)
+            if cost > 0:
+                yield Timeout(cost)
+
+    def _dispatch_server(self, m: int, msg: Message) -> None:
+        """Endpoint sink (``server_dispatch="direct"``): handle the
+        request inside the delivery event while the server is free;
+        otherwise park it and drain FIFO when the busy window closes.
+        Handle time is ``max(deliver_time, previous handle end)`` either
+        way — identical to the proc loop — but the free case costs zero
+        extra events and the busy case exactly one drain event."""
+        if self.engine.now >= self._srv_busy[m] and not self._srv_queue[m]:
+            self.server_msgs_inline += 1
+            self._handle_server_msg(m, msg)
+        else:
+            self._srv_queue[m].append(msg)
+            if not self._srv_drain_pending[m]:
+                self._srv_drain_pending[m] = True
+                self.engine._schedule(self._srv_busy[m], self._drain_server, m)
+
+    def _drain_server(self, m: int) -> None:
+        self._srv_drain_pending[m] = False
+        self.server_msgs_drained += 1
+        self._handle_server_msg(m, self._srv_queue[m].popleft())
+        if self._srv_queue[m]:
+            self._srv_drain_pending[m] = True
+            self.engine._schedule(self._srv_busy[m], self._drain_server, m)
+
+    def _handle_server_msg(self, m: int, msg: Message) -> float:
+        server = self.servers[m]
+        causal = self.causal
+        actor = self._srv_names[m]
+        now = self.engine.now
+        payload = msg.payload
+        # ``tip`` tracks the request's causal frontier through the
+        # server: delivery rx -> backlog wait -> apply/DPR wait.
+        tip = msg.cause_id
+        if causal is not None and now > msg.deliver_time:
+            tip = causal.record(
+                tip, actor, "server_queue", msg.deliver_time, now,
+                shard=m, tag=msg.tag,
+            )
+        dprs_before = server.metrics.dprs
+        if isinstance(payload, _PushMsg):
+            self._current_push_worker = payload.worker
+            server.handle_push(payload.worker, payload.progress, grad=payload.shard)
+            self._current_push_worker = -1
+        elif isinstance(payload, _PullMsg):
+            server.handle_pull(
+                payload.worker,
+                payload.progress,
+                respond=lambda reply, j=m, cid=tip: self._send_reply(j, reply, cid),
+            )
+        else:
+            raise TypeError(f"server {m}: unexpected message payload {payload!r}")
+        # Charge server processing time: fixed per request plus per
+        # DPR event this request caused (buffer/re-check bookkeeping).
+        # The busy window serializes the server; later arrivals wait
+        # for it to close before they are handled.
+        cost = self.cfg.server_op_overhead_s
+        cost += (server.metrics.dprs - dprs_before) * self.cfg.dpr_overhead_s
+        end = now + cost
+        self._srv_busy[m] = end
+        if cost > 0 and self.obs.enabled:
+            # Server-side apply spans are an observability feature;
+            # the plain timing path skips the per-request recording.
+            self.trace.record_span(actor, SpanKind.SERVER_APPLY, now, end)
+            if causal is not None:
+                causal.record(
+                    tip, actor, "server_apply", now, end,
                     shard=m, tag=msg.tag,
                 )
-            dprs_before = server.metrics.dprs
-            if isinstance(payload, _PushMsg):
-                self._current_push_worker = payload.worker
-                server.handle_push(payload.worker, payload.progress, grad=payload.shard)
-                self._current_push_worker = -1
-            elif isinstance(payload, _PullMsg):
-                server.handle_pull(
-                    payload.worker,
-                    payload.progress,
-                    respond=lambda reply, j=m, cid=tip: self._send_reply(j, reply, cid),
-                )
-            else:
-                raise TypeError(f"server {m}: unexpected message payload {payload!r}")
-            # Charge server processing time: fixed per request plus per
-            # DPR event this request caused (buffer/re-check bookkeeping).
-            cost = self.cfg.server_op_overhead_s
-            cost += (server.metrics.dprs - dprs_before) * self.cfg.dpr_overhead_s
-            if cost > 0:
-                t0 = self.engine.now
-                yield Timeout(cost)
-                # Server-side apply spans are an observability feature;
-                # the plain timing path skips the per-request recording.
-                if self.obs.enabled:
-                    self.trace.record_span(
-                        actor, SpanKind.SERVER_APPLY, t0, self.engine.now
-                    )
-                    if causal is not None:
-                        causal.record(
-                            tip, actor, "server_apply", t0, self.engine.now,
-                            shard=m, tag=msg.tag,
-                        )
+        return cost
 
     def _send_reply(self, server: int, reply: PullReply, cause: int = -1) -> None:
         causal = self.causal
@@ -335,6 +411,14 @@ class FluentPSSimRunner:
             payload=_ReplyMsg(server, reply),
             tag="reply",
             cause=cause,
+            # Workers consume replies via this subscription, never the
+            # inbox (the waiter event also keeps the worker-resume seq
+            # allocation where the golden schedules expect it; an inline
+            # sink moves it and reorders same-instant ties).  Skipping
+            # the inbox append keeps 10k-worker runs from pinning every
+            # reply Message (and its COW snapshot) alive in an unread
+            # queue.
+            deliver_to_inbox=False,
         ).subscribe(self._on_reply_delivered)
 
     def _on_reply_delivered(self, msg: Message) -> None:
@@ -437,8 +521,13 @@ class FluentPSSimRunner:
 
     def run(self) -> SimRunResult:
         """Execute the co-simulation to completion and aggregate results."""
-        for m in range(self.cfg.cluster.n_servers):
-            self.engine.spawn(self._server_proc(m), name=f"server{m}")
+        if not self._direct:
+            for m in range(self.cfg.cluster.n_servers):
+                self.engine.spawn(self._server_proc(m), name=f"server{m}")
+        else:
+            for m in range(self.cfg.cluster.n_servers):
+                ep = self.net.endpoint(self.cfg.cluster.server_id(m))
+                ep.sink = partial(self._dispatch_server, m)
         for w in range(self.cfg.cluster.n_workers):
             self.engine.spawn(self._worker_proc(w), name=f"worker{w}")
         snapshotter = None
@@ -448,6 +537,7 @@ class FluentPSSimRunner:
                 self.servers,
                 network=self.net,
                 nodes=[self.cfg.cluster.server_id(j) for j in range(self.cfg.cluster.n_servers)],
+                engine=self.engine,
             )
             interval = self.cfg.snapshot_interval_s
             if interval is None:

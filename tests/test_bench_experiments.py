@@ -24,6 +24,12 @@ from repro.bench.figures import (
     fig10_models,
 )
 from repro.bench.harness import TINY
+from repro.bench.scale_grid import (
+    GRID_PRESETS,
+    GRID_SYNCS,
+    grid_worker_counts,
+    scale_grid,
+)
 from repro.bench.tables import table1_model_matrix, table3_conditions, table4_grid
 from repro.bench.theory_bench import theory_bounds
 
@@ -119,6 +125,29 @@ class TestAblationFunctions:
         r = ablation_specsync(TINY)
         assert r.find("pssp(3,0.3)").metrics["aborts"] == 0
         assert r.find("specsync").metrics["duration"] > 0
+
+    def test_scale_grid_structure(self):
+        r = scale_grid(TINY)
+        counts = grid_worker_counts(TINY)
+        n_cells = len(GRID_PRESETS) * len(counts) * len(GRID_SYNCS)
+        assert len(r.rows) == n_cells
+        assert len(r.records) == n_cells
+        for preset in GRID_PRESETS:
+            for n in counts:
+                for sync in GRID_SYNCS:
+                    rec = r.find(f"scale-grid/{preset}/N{n}/{sync}")
+                    assert rec.metrics["wall_s"] > 0
+                    assert rec.metrics["events"] > 0
+                    assert rec.metrics["sim_s_per_iter"] > 0
+        # Barrier pressure is visible in the grid: at the largest N, BSP
+        # issues at least as many DPRs as PSSP on every topology (the
+        # sim-time ordering itself is a scaling claim, only stable at
+        # quick/paper worker counts).
+        n = max(counts)
+        for preset in GRID_PRESETS:
+            bsp_cell = r.find(f"scale-grid/{preset}/N{n}/bsp").metrics
+            pssp_cell = r.find(f"scale-grid/{preset}/N{n}/pssp").metrics
+            assert bsp_cell["dprs"] >= pssp_cell["dprs"]
 
 
 class TestCli:

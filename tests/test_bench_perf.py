@@ -25,6 +25,9 @@ TINY = PerfScale(
     telemetry_ops=2_000,
     macro_workers=4,
     macro_iters=1,
+    macro10k_workers=8,
+    macro10k_iters=1,
+    macro10k_repeats=1,
     repeats=1,
 )
 
@@ -35,6 +38,7 @@ EXPECTED_BENCHMARKS = {
     "ml_steps_per_sec",
     "null_telemetry_overhead_pct",
     "macro_fig7_wall_s",
+    "macro_10k_wall_s",
     "sweep_wall_s",
 }
 
@@ -130,6 +134,43 @@ class TestRegressionGate:
         # Healthy cross-scale rate: no failure despite different walls.
         cur_ok = _doc(1e6, scale="quick", macro_fig7_wall_s=_macro(2.0, 190_000.0))
         assert check_regression(cur_ok, base, 0.30) == []
+
+    def test_macro_10k_gated_like_the_128_macro(self):
+        cur = _doc(1e6, macro_10k_wall_s=_macro(8.0))
+        base = _doc(1e6, macro_10k_wall_s=_macro(5.0))
+        failures = check_regression(cur, base, 0.30)
+        assert len(failures) == 1
+        assert "macro_10k_wall_s" in failures[0]
+        # Cross-scale: quick (1k workers) vs full (10k) gates on events/sec.
+        cur = _doc(1e6, scale="quick", macro_10k_wall_s=_macro(0.5, 40_000.0))
+        base = _doc(1e6, scale="full", macro_10k_wall_s=_macro(5.0, 200_000.0))
+        failures = check_regression(cur, base, 0.30)
+        assert len(failures) == 1
+        assert "macro_10k_wall_s" in failures[0]
+        assert "events_per_sec" in failures[0]
+
+    def test_cross_scale_skip_is_reported_by_name(self):
+        # A cross-scale comparison without events_per_sec detail must name
+        # the skipped benchmark instead of silently passing.
+        cur = _doc(1e6, scale="quick", macro_10k_wall_s=_macro(0.5))
+        base = _doc(
+            1e6, scale="full",
+            macro_10k_wall_s={"value": 5.0, "unit": "s", "detail": {}},
+        )
+        notes = []
+        assert check_regression(cur, base, 0.30, notes=notes) == []
+        assert any(
+            "macro_10k_wall_s" in n and "skipped" in n and "baseline" in n
+            for n in notes
+        )
+
+    def test_missing_gated_benchmark_is_reported_by_name(self):
+        notes = []
+        baseline = {"schema": SCHEMA, "scale": "tiny", "benchmarks": {}}
+        assert check_regression(_doc(1.0), baseline, 0.30, notes=notes) == []
+        skipped = "\n".join(notes)
+        assert "network_messages_per_sec" in skipped
+        assert "macro_fig7_wall_s" in skipped
 
 
 class TestHistoryRoll:

@@ -502,3 +502,67 @@ class TestTieOrderUnderCancellation:
         eng.run()
         expected = [i for i in range(6) if i != cancel_idx] + ["repost"]
         assert seen == expected
+
+    @given(
+        n_fill=st.integers(min_value=520, max_value=580),
+        k=st.integers(min_value=0, max_value=580),
+        n_tie=st.integers(min_value=3, max_value=6),
+        cancel_mask=st.lists(st.booleans(), min_size=3, max_size=6),
+        n_repost=st.integers(min_value=1, max_value=3),
+        repost_live=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fast_forward_never_skips_repost_at_window_boundary(
+        self, n_fill, k, n_tie, cancel_mask, n_repost, repost_live
+    ):
+        """Extension of the tie-order property to the fast-forward engine.
+
+        A tombstoned-then-reposted event at the *same timestamp* must run
+        even when that timestamp straddles the mesoscale window boundary
+        (the first ``_CAL_NEAR`` events go into the presorted window, the
+        rest into calendar buckets; a live re-post lands in the raw heap
+        and must merge back in).  ``n_fill`` exceeds the window size so
+        the boundary falls inside the filler run, and ``k`` sweeps the
+        tie group's timestamp across it.  The oracle is the plain binary
+        heap: both engines must observe the identical event sequence.
+        """
+        k = min(k, n_fill)
+        tie_t = 10.0 + 0.01 * k  # collides with filler k: a boundary tie
+
+        def build(eng, seen):
+            for i in range(n_fill):
+                eng.call_at(10.0 + 0.01 * i, seen.append, ("fill", i))
+            handles = [
+                eng.schedule(tie_t, seen.append, ("tie", i)) for i in range(n_tie)
+            ]
+            mask = (cancel_mask * n_tie)[:n_tie]
+            for h, dead in zip(handles, mask):
+                if dead:
+                    h.cancel()
+            repost = [
+                (tie_t, seen.append, ("repost", j)) for j in range(n_repost)
+            ]
+            if repost_live:
+                # Re-post from *inside* the run, just before the tie time:
+                # by then the sweep has windowed/bucketed the originals.
+                eng.call_at(
+                    tie_t - 0.005,
+                    lambda: [eng.call_at(*args) for args in repost],
+                )
+            else:
+                for args in repost:
+                    eng.call_at(*args)
+
+        fast = Engine(calendar_threshold=16)
+        slow = Engine(calendar=False)
+        seen_fast, seen_slow = [], []
+        build(fast, seen_fast)
+        build(slow, seen_slow)
+        fast.run()
+        slow.run()
+        assert seen_fast == seen_slow
+        assert fast.calendar_sweeps >= 1  # the fast path actually engaged
+        reposts = [x for x in seen_fast if x[0] == "repost"]
+        assert reposts == [("repost", j) for j in range(n_repost)]
+        assert fast.now == slow.now
+        assert fast.events_processed == slow.events_processed

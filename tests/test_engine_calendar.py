@@ -1,0 +1,264 @@
+"""Differential tests: the calendar queue vs the binary heap.
+
+The calendar/fast-forward core's correctness claim is *exact* semantic
+equivalence — not a single callback may fire at a different time or in a
+different order than under the plain binary heap (``Engine(calendar=
+False)``).  These tests run identical seeded programs through both
+queues and compare the full observation streams byte-for-byte, then
+stress the bucket machinery with adversarial timestamp clustering
+(everything in one bucket, one event per bucket, regime changes across
+sweeps that force a width resize).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import _CAL_NEAR, _CAL_THRESHOLD, Engine
+
+
+def _seeded_program(n, seed, cancel_frac=0.1, repost=25, horizon=50.0):
+    """Build-callable for a random program of ``n`` events.
+
+    Schedules ``n`` events at seeded-uniform times, cancels a random
+    subset, and re-posts a few at exactly the cancelled timestamps (the
+    tombstone-collision case).  Each callback records ``(now, tag)`` so
+    the comparison covers both order *and* the exact clock value.
+    """
+    rng = np.random.default_rng(seed)
+    times = [float(t) for t in rng.uniform(0.0, horizon, size=n)]
+    dead = rng.random(n) < cancel_frac
+    reposted = [int(i) for i in np.flatnonzero(dead)[:repost]]
+
+    def build(eng, seen):
+        handles = [
+            eng.schedule(t, lambda i=i: seen.append((eng.now, i)))
+            for i, t in enumerate(times)
+        ]
+        for i, is_dead in enumerate(dead):
+            if is_dead:
+                handles[i].cancel()
+        for i in reposted:
+            eng.schedule(times[i], lambda i=i: seen.append((eng.now, ["re", i])))
+
+    return build
+
+
+def _run_both(build, threshold=None, **fast_kw):
+    fast = Engine(calendar_threshold=threshold, **fast_kw)
+    slow = Engine(calendar=False)
+    seen_fast, seen_slow = [], []
+    build(fast, seen_fast)
+    build(slow, seen_slow)
+    fast.run()
+    slow.run()
+    return fast, slow, seen_fast, seen_slow
+
+
+class TestSeededDifferential:
+    """Seeded random programs at 1k and 10k pending events."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_byte_identical_stream_1k(self, seed):
+        build = _seeded_program(1_000, seed)
+        fast, slow, seen_fast, seen_slow = _run_both(build, threshold=64)
+        # Serialize through JSON so the comparison is on bytes, not on
+        # float objects that might compare equal after rounding.
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.calendar_sweeps >= 1
+        assert fast.events_skipped > 0
+        assert fast.now == slow.now
+        assert fast.events_processed == slow.events_processed
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_byte_identical_stream_10k(self, seed):
+        # 10k pending with an explicit mesoscale threshold (the shipped
+        # constant is tuned for ~10k-worker runner scale and sits above
+        # 10k raw events; auto-migration at the constant itself is
+        # covered by test_byte_identical_stream_past_shipped_constant).
+        build = _seeded_program(10_000, seed)
+        fast, slow, seen_fast, seen_slow = _run_both(build, threshold=4096)
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.calendar_sweeps >= 1
+        assert fast.events_skipped > 0
+        assert fast.windows_collapsed > 0
+        assert fast.pending_events == 0 == slow.pending_events
+
+    def test_byte_identical_stream_past_shipped_constant(self):
+        # Crosses the *default* threshold: no override, so this
+        # exercises auto-migration at the shipped constant.
+        build = _seeded_program(_CAL_THRESHOLD + 5_000, seed=3)
+        fast, slow, seen_fast, seen_slow = _run_both(build)
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.calendar_sweeps >= 1
+        assert fast.events_skipped > 0
+        assert fast.pending_events == 0 == slow.pending_events
+
+    def test_below_threshold_stays_on_heap(self):
+        build = _seeded_program(200, seed=5)
+        fast, slow, seen_fast, seen_slow = _run_both(build)  # shipped default
+        assert seen_fast == seen_slow
+        assert fast.calendar_sweeps == 0
+
+    def test_heap_fallback_reports_disabled(self):
+        eng = Engine(calendar=False)
+        assert eng.calendar_enabled is False
+        for i in range(10):
+            eng.call_in(float(i + 1), lambda: None)
+        eng.run()
+        assert eng.calendar_sweeps == 0
+        assert eng.events_skipped == 0
+        assert eng.windows_collapsed == 0
+
+
+class TestAdversarialClustering:
+    """Bucket-resize behavior at the timestamp-distribution extremes."""
+
+    def test_all_events_in_one_bucket(self):
+        """Zero span past the window: the degenerate guard must keep
+        everything windowed instead of deriving a zero bucket width."""
+        n = 4 * _CAL_NEAR
+
+        def build(eng, seen):
+            for i in range(n):
+                eng.call_at(1.0, seen.append, i)
+
+        fast, slow, seen_fast, seen_slow = _run_both(build, threshold=32)
+        assert seen_fast == seen_slow == list(range(n))  # FIFO preserved
+        assert fast.calendar_sweeps >= 1
+
+    def test_one_event_per_bucket(self):
+        """Wide distinct spacing: at most one event lands in each bucket,
+        so every refill sorts a singleton."""
+        n = 2 * _CAL_NEAR
+
+        def build(eng, seen):
+            for i in range(n):
+                eng.call_at(1.0 + 997.0 * i, seen.append, i)
+
+        fast, slow, seen_fast, seen_slow = _run_both(build, threshold=32)
+        assert seen_fast == seen_slow == list(range(n))
+        assert fast.calendar_sweeps >= 1
+        assert fast.windows_collapsed > 0
+
+    def test_regime_change_resizes_buckets(self):
+        """A tight cluster followed (mid-run) by a wide spread: the second
+        sweep re-derives the bucket width from the new span."""
+        n = 3 * _CAL_NEAR
+
+        def build(eng, seen):
+            for i in range(n):
+                eng.call_at(100.0 + 1e-3 * i, seen.append, ("tight", i))
+
+            def spread():
+                for i in range(n):
+                    eng.call_at(200.0 + 0.9 * i, seen.append, ("wide", i))
+
+            eng.call_at(150.0, spread)
+
+        fast, slow, seen_fast, seen_slow = _run_both(build, threshold=32)
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.calendar_sweeps >= 2  # one per regime
+
+    def test_near_degenerate_relative_span(self):
+        """Span tiny relative to the horizon: the relative-span guard
+        keeps the cluster windowed rather than bucketing at float noise."""
+        n = 2 * _CAL_NEAR
+
+        def build(eng, seen):
+            base = 1e9
+            for i in range(n):
+                eng.call_at(base + 1e-7 * i, seen.append, i)
+
+        fast, slow, seen_fast, seen_slow = _run_both(build, threshold=32)
+        assert seen_fast == seen_slow
+
+
+class TestRunControls:
+    """until/max_events and the choice-hook flush keep exact semantics."""
+
+    def test_until_equivalent(self):
+        build = _seeded_program(2_000, seed=6, horizon=10.0)
+        fast = Engine(calendar_threshold=64)
+        slow = Engine(calendar=False)
+        seen_fast, seen_slow = [], []
+        build(fast, seen_fast)
+        build(slow, seen_slow)
+        for until in (2.5, 5.0, 7.5, None):
+            fast.run(until=until)
+            slow.run(until=until)
+            assert fast.now == slow.now
+            assert fast.pending_events == slow.pending_events
+            assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.calendar_sweeps >= 1
+
+    def test_max_events_equivalent(self):
+        build = _seeded_program(2_000, seed=7)
+        fast = Engine(calendar_threshold=64)
+        slow = Engine(calendar=False)
+        seen_fast, seen_slow = [], []
+        build(fast, seen_fast)
+        build(slow, seen_slow)
+        for budget in (300, 700, None):
+            fast.run(max_events=budget)
+            slow.run(max_events=budget)
+            assert fast.events_processed == slow.events_processed
+            assert fast.now == slow.now
+            assert fast.pending_events == slow.pending_events
+            assert seen_fast == seen_slow
+
+    def test_choice_hook_flushes_calendar(self):
+        """Installing a choice hook (the schedule explorer) must drain the
+        calendar back into the flat heap with nothing lost, and a
+        default-taking hook must not perturb the stream."""
+        build = _seeded_program(2_000, seed=8)
+        fast = Engine(calendar_threshold=64)
+        slow = Engine(calendar=False)
+        seen_fast, seen_slow = [], []
+        build(fast, seen_fast)
+        build(slow, seen_slow)
+        # Bounded runs route through the per-event slow path and never
+        # sweep, so populate the window + buckets directly.
+        fast._sweep()
+        assert fast.calendar_sweeps == 1
+        before = fast.pending_events
+        fast.set_choice_hook(lambda when, group: 0)
+        slow.set_choice_hook(lambda when, group: 0)
+        assert fast.pending_events == before  # flush loses nothing
+        fast.run()
+        slow.run()
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.now == slow.now
+
+    def test_pending_events_accounting(self):
+        eng = Engine(calendar_threshold=64)
+        handles = [eng.schedule(float(i + 1), lambda: None) for i in range(2_000)]
+        for h in handles[::10]:
+            h.cancel()
+        live = 2_000 - len(handles[::10])
+        assert eng.pending_events == live
+        eng.run(max_events=300)
+        assert eng.pending_events == live - 300
+        eng.run()
+        assert eng.pending_events == 0
+        assert eng.events_processed == live
+
+
+class TestDefaults:
+    def test_default_threshold_is_shipped_constant(self):
+        eng = Engine()
+        assert eng.calendar_enabled is True
+        n = _CAL_THRESHOLD + 500
+        for i in range(n):
+            eng.call_in(float(i + 1), lambda: None)
+        eng.run()
+        assert eng.calendar_sweeps >= 1
+        assert eng.events_processed == n
+
+    def test_threshold_zero_clamped(self):
+        eng = Engine(calendar_threshold=0)
+        for i in range(8):
+            eng.call_in(float(i + 1), lambda: None)
+        eng.run()
+        assert eng.events_processed == 8

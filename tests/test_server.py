@@ -395,3 +395,138 @@ class TestMetricsAccounting:
     def test_describe(self):
         srv = make_server()
         assert "shard 0" in srv.describe()
+
+
+def _grad_rounds(seed, iters, n, shape=(8,)):
+    rng = np.random.default_rng(seed)
+    return [[rng.normal(size=shape) for _ in range(n)] for _ in range(iters)]
+
+
+class TestBatchedApply:
+    """Deferred (vectorized) gradient application: the mesoscale push path.
+
+    Same-version pushes on significance-blind configurations may be
+    buffered and applied in one vectorized flush — but only as a change
+    of *when* the arithmetic runs, never of its results: final
+    parameters and the significance signal must be bit-identical to the
+    eager per-push path (``batch_apply=False``), and any configuration
+    that can observe intermediate state must stay eager.
+    """
+
+    def _replay(self, srv, grads):
+        for it, row in enumerate(grads):
+            for w, g in enumerate(row):
+                srv.handle_push(w, it, grad=g.copy())
+
+    def test_params_and_significance_bit_identical(self):
+        grads = _grad_rounds(0, 5, 3)
+        batched = make_server(model=ssp(2), n=3, params=np.zeros(8))
+        eager = make_server(
+            model=ssp(2), n=3, params=np.zeros(8), batch_apply=False
+        )
+        self._replay(batched, grads)
+        self._replay(eager, grads)
+        assert batched.batched_applies > 0
+        assert eager.batched_applies == 0
+        assert np.array_equal(batched.params, eager.params)
+        assert batched.last_significance == eager.last_significance
+        assert batched.apply_flushes >= 1
+
+    def test_single_pending_grad_flush_identical(self):
+        grads = _grad_rounds(3, 1, 1)
+        batched = make_server(model=ssp(2), n=1, params=np.zeros(8))
+        eager = make_server(
+            model=ssp(2), n=1, params=np.zeros(8), batch_apply=False
+        )
+        self._replay(batched, grads)
+        self._replay(eager, grads)
+        assert np.array_equal(batched.params, eager.params)
+        assert batched.last_significance == eager.last_significance
+
+    def test_snapshot_flushes_pending(self):
+        grads = _grad_rounds(1, 3, 2)
+        batched = make_server(model=ssp(3), n=2, params=np.zeros(8))
+        eager = make_server(
+            model=ssp(3), n=2, params=np.zeros(8), batch_apply=False
+        )
+        self._replay(batched, grads)
+        self._replay(eager, grads)
+        snap = batched._snapshot()
+        assert np.array_equal(snap, eager.params)
+        # COW invariants survive: same-version snapshots share storage.
+        assert batched._snapshot() is snap
+        assert not snap.flags.writeable
+
+    def test_significance_sensitive_model_stays_eager(self):
+        # dynamic_pssp's c is a callable of the significance signal: a
+        # deferred apply would change what mid-batch pulls observe.
+        grads = _grad_rounds(2, 4, 3)
+        srv = make_server(model=dynamic_pssp(2), n=3, params=np.zeros(8))
+        self._replay(srv, grads)
+        assert srv.batched_applies == 0
+        # Constant-c PSSP structurally ignores significance: defers.
+        srv2 = make_server(model=pssp(2, 0.5), n=3, params=np.zeros(8))
+        self._replay(srv2, grads)
+        assert srv2.batched_applies > 0
+
+    def test_opt_in_overrides_model_gate(self):
+        grads = _grad_rounds(4, 4, 3)
+        forced = make_server(
+            model=dynamic_pssp(2), n=3, params=np.zeros(8), batch_apply=True
+        )
+        eager = make_server(
+            model=dynamic_pssp(2), n=3, params=np.zeros(8), batch_apply=False
+        )
+        self._replay(forced, grads)
+        self._replay(eager, grads)
+        assert forced.batched_applies > 0
+        assert np.array_equal(forced.params, eager.params)
+        assert forced.last_significance == eager.last_significance
+
+    def test_custom_apply_fn_never_batched(self):
+        calls = []
+
+        def apply(params, grad, info):
+            calls.append(info.progress)
+            params += grad
+
+        srv = make_server(
+            params=np.zeros(2), apply_fn=apply, n=1, batch_apply=True
+        )
+        srv.handle_push(0, 0, grad=np.ones(2))
+        assert calls == [0]  # applied eagerly, batching declined
+        assert srv.batched_applies == 0
+
+    def test_explicit_significance_flushes_and_wins(self):
+        srv = make_server(model=ssp(2), n=2, params=np.zeros(4))
+        srv.handle_push(0, 0, grad=np.ones(4))
+        srv.handle_push(1, 0, grad=np.ones(4), significance=0.75)
+        assert srv.last_significance == 0.75
+        np.testing.assert_allclose(srv.params, np.ones(4))
+
+    def test_incremental_trackers_match_full_scan(self):
+        rng = np.random.default_rng(1)
+        srv = make_server(model=ssp(100), n=5)
+        for _ in range(200):
+            w = int(rng.integers(5))
+            srv.handle_push(w, srv.worker_progress[w] + 1)
+            assert srv._fastest == max(srv.worker_progress)
+            assert srv._slowest == min(srv.worker_progress)
+
+    def test_restore_recomputes_trackers_and_flushes(self):
+        srv = make_server(model=ssp(10), n=3, params=np.zeros(4))
+        for w in range(3):
+            srv.handle_push(w, 0, grad=np.ones(4))
+        state = dict(
+            worker_progress=[4, 2, 7], v_train=2, version=5,
+            count={}, last_significance=0.25,
+        )
+        srv.handle_restore(state, params=np.full(4, 9.0))
+        np.testing.assert_array_equal(srv.params, np.full(4, 9.0))
+        assert srv.last_significance == 0.25
+        assert srv._fastest == 7
+        assert srv._slowest == 2
+        assert srv._n_at_slowest == 1
+        # Pushes resume from the restored per-worker progress.
+        srv.handle_push(1, 3)
+        assert srv._slowest == 3
