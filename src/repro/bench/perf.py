@@ -94,6 +94,9 @@ class PerfScale:
     macro10k_workers: int
     macro10k_iters: int
     macro10k_repeats: int
+    macro100k_workers: int
+    macro100k_iters: int
+    macro100k_repeats: int
     repeats: int
 
 
@@ -111,6 +114,9 @@ QUICK = PerfScale(
     macro10k_workers=1_000,
     macro10k_iters=1,
     macro10k_repeats=2,
+    macro100k_workers=5_000,
+    macro100k_iters=1,
+    macro100k_repeats=1,
     repeats=2,
 )
 
@@ -128,8 +134,29 @@ FULL = PerfScale(
     macro10k_workers=10_000,
     macro10k_iters=1,
     macro10k_repeats=2,
+    macro100k_workers=100_000,
+    macro100k_iters=1,
+    macro100k_repeats=1,
     repeats=5,
 )
+
+
+def _peak_rss_mb() -> float:
+    """Process-lifetime peak RSS in MiB (0.0 where unavailable).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the unit is
+    normalized here.  The counter is monotone over the process lifetime,
+    so for a macro run it reports "the run fit in at most this much" —
+    an upper bound, which is the honest direction for a capacity number.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
 
 
 def _best(run_once: Callable[[], Tuple[float, float]], repeats: int) -> Tuple[float, float]:
@@ -416,6 +443,10 @@ def _bench_macro_run(name: str, workers: int, iters: int, repeats: int) -> Bench
                 "calendar_sweeps": runner.engine.calendar_sweeps,
                 "server_msgs_inline": runner.server_msgs_inline,
                 "server_msgs_drained": runner.server_msgs_drained,
+                "events_elided": runner.engine.events_elided,
+                "quiet_regions": runner.engine.quiet_regions,
+                "fused_deliveries": runner.net.fused_deliveries,
+                "pending_event_hwm": runner.engine.pending_high_water,
             }
     return BenchResult(
         name,
@@ -428,6 +459,7 @@ def _bench_macro_run(name: str, workers: int, iters: int, repeats: int) -> Bench
             "events_per_sec": events / max(wall, 1e-9),
             "sim_duration_s": result.duration,
             "messages_on_wire": result.messages_on_wire,
+            "peak_rss_mb": _peak_rss_mb(),
             **counters,
         },
     )
@@ -454,6 +486,23 @@ def bench_macro_10k(scale: PerfScale) -> BenchResult:
         scale.macro10k_workers,
         scale.macro10k_iters,
         scale.macro10k_repeats,
+    )
+
+
+def bench_macro_100k(scale: PerfScale) -> BenchResult:
+    """Wall clock of the 100k-worker macro: the largest population the
+    grid documents (PSP/consistency-model claims only reveal their shape
+    at this scale — see ISSUE 9 / ROADMAP).  Single repeat: the quantity
+    under test is whether the box holds a 100k-worker event population at
+    all (peak RSS and the pending-event high-water mark ride along in the
+    detail), and the < 60 s acceptance bar has a wide enough margin that
+    best-of-N buys nothing.
+    """
+    return _bench_macro_run(
+        "macro_100k_wall_s",
+        scale.macro100k_workers,
+        scale.macro100k_iters,
+        scale.macro100k_repeats,
     )
 
 
@@ -520,6 +569,7 @@ def run_suite(scale: PerfScale) -> Dict[str, object]:
     results.append(bench_null_telemetry(scale, engine.value))
     results.append(bench_macro(scale))
     results.append(bench_macro_10k(scale))
+    results.append(bench_macro_100k(scale))
     results.append(bench_sweep(scale))
     return {
         "schema": SCHEMA,
@@ -553,13 +603,18 @@ GATED_BENCHMARKS: List[Tuple[str, bool]] = [
     ("network_messages_per_sec", True),
     ("macro_fig7_wall_s", False),
     ("macro_10k_wall_s", False),
+    ("macro_100k_wall_s", False),
 ]
 
 #: Wall-time benchmarks that fall back to the scale-independent
 #: ``events_per_sec`` detail when current and baseline documents were
 #: produced at different scales (CI runs ``--quick``, the committed
 #: record is full scale).
-CROSS_SCALE_BENCHMARKS = {"macro_fig7_wall_s", "macro_10k_wall_s"}
+CROSS_SCALE_BENCHMARKS = {
+    "macro_fig7_wall_s",
+    "macro_10k_wall_s",
+    "macro_100k_wall_s",
+}
 
 #: Absolute ceiling for ``null_telemetry_overhead_pct``.  A relative
 #: gate is meaningless for a number that should sit near zero (a 30%

@@ -7,10 +7,14 @@ count × sync model and reports, per cell, both the simulated outcome
 (sim-seconds per iteration, DPR load) and the simulator's own cost
 (host wall clock, events/second, fast-forward and calendar counters).
 
-The worker axis stretches to 10 000 simulated workers at paper scale —
-two orders of magnitude past the old 128-worker macro ceiling — which is
-what the engine's calendar queue and mesoscale fast-forward exist for
-(docs/PERFORMANCE.md, "Mesoscale fast-forward and the calendar queue").
+The worker axis stretches to 100 000 simulated workers at paper scale —
+three orders of magnitude past the old 128-worker macro ceiling — which
+is what the engine's calendar queue, mesoscale fast-forward, and
+protocol-quiet elision exist for (docs/PERFORMANCE.md, "Mesoscale
+fast-forward and the calendar queue" and "Protocol-quiet elision and
+parallel shard drains").  Each cell also reports what the run cost the
+host: peak RSS and the engine's pending-event high-water mark document
+what the box actually has to hold per population.
 
 Reading the grid: a sync model's scaling "breaks" where its
 ``sim_s_per_iter`` stops being flat in N.  BSP degrades first (the full
@@ -38,7 +42,7 @@ from repro.sim.stragglers import cpu_cluster_compute, gpu_cluster_compute
 GRID_WORKERS = {
     "tiny": (8, 32),
     "quick": (128, 1_000),
-    "paper": (128, 1_000, 10_000),
+    "paper": (128, 1_000, 10_000, 100_000),
 }
 
 #: Cluster topology presets (the paper's two test clusters).
@@ -94,6 +98,8 @@ def _grid_arm(preset: str, n: int, sync_name: str, seed: int) -> ExperimentResul
     frag = ExperimentResult(key, headers=[])
     per_iter = res.duration / iters
     events_per_sec = eng.events_processed / max(wall, 1e-9)
+    from repro.bench.perf import _peak_rss_mb
+
     frag.add_row(
         preset,
         n,
@@ -103,7 +109,10 @@ def _grid_arm(preset: str, n: int, sync_name: str, seed: int) -> ExperimentResul
         int(eng.events_processed),
         int(events_per_sec),
         int(eng.events_skipped),
-        int(eng.windows_collapsed),
+        int(eng.events_elided),
+        int(eng.quiet_regions),
+        int(eng.pending_high_water),
+        round(_peak_rss_mb(), 1),
         int(res.metrics.dprs),
     )
     frag.record(
@@ -116,6 +125,16 @@ def _grid_arm(preset: str, n: int, sync_name: str, seed: int) -> ExperimentResul
         events_skipped=float(eng.events_skipped),
         windows_collapsed=float(eng.windows_collapsed),
         calendar_sweeps=float(eng.calendar_sweeps),
+        events_elided=float(eng.events_elided),
+        quiet_regions=float(eng.quiet_regions),
+        fused_deliveries=float(runner.net.fused_deliveries),
+        server_msgs_inline=float(runner.server_msgs_inline),
+        server_msgs_drained=float(runner.server_msgs_drained),
+        pending_event_hwm=float(eng.pending_high_water),
+        # Process-lifetime peak, so per-cell this is an upper bound
+        # ("the cell fit in at most this much") — exact when cells run
+        # in their own pool workers, monotone when run inline.
+        peak_rss_mb=_peak_rss_mb(),
         messages_on_wire=float(res.messages_on_wire),
         dprs=float(res.metrics.dprs),
     )
@@ -137,7 +156,10 @@ def scale_grid(
             "events",
             "events_per_sec",
             "events_skipped",
-            "windows_collapsed",
+            "events_elided",
+            "quiet_regions",
+            "pending_hwm",
+            "peak_rss_mb",
             "dprs",
         ],
     )

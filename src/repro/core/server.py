@@ -99,7 +99,7 @@ class ExecutionMode(enum.Enum):
     SOFT_BARRIER = "soft"
 
 
-@dataclass
+@dataclass(slots=True)
 class PullReply:
     """What a worker receives in answer to an sPull."""
 
@@ -112,7 +112,7 @@ class PullReply:
     params: Optional[np.ndarray] = None  # shard snapshot (co-simulation)
 
 
-@dataclass
+@dataclass(slots=True)
 class _BufferedPull:
     worker: int
     progress: int
@@ -121,7 +121,7 @@ class _BufferedPull:
     blocked_probabilistically: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ApplyInfo:
     """Context handed to a server-side apply function."""
 
@@ -255,21 +255,37 @@ class ShardServer:
         # a lazily-emitted config event so the sanitizer can replay runs.
         self.uid = next(_SERVER_UIDS)
         self._config_log: Optional[object] = None
+        # One mutable SyncView reused for every condition evaluation:
+        # views are consumed synchronously inside handle_push/handle_pull
+        # and never retained (the class contract is "read-only state a
+        # condition may inspect"), so rebuilding a fresh instance per
+        # request — two per pull at incast rates — is pure allocator churn.
+        self._coin_con: Optional[object] = None  # _eval_pull probe cache
+        self._coin_on = False
+        self._view_scratch = SyncView(
+            progress=0,
+            worker=-1,
+            v_train=0,
+            n_workers=n_workers,
+            count=self.count,
+            fastest=-1,
+            slowest=-1,
+            significance=0.0,
+            rng=self.rng,
+        )
 
     # -- views ------------------------------------------------------------
 
     def _view(self, progress: int, worker: int) -> SyncView:
-        return SyncView(
-            progress=progress,
-            worker=worker,
-            v_train=self.v_train,
-            n_workers=self.n_workers,
-            count=self.count,
-            fastest=self._fastest,
-            slowest=self._slowest,
-            significance=self._last_significance,
-            rng=self.rng,
-        )
+        v = self._view_scratch
+        v.progress = progress
+        v.worker = worker
+        v.v_train = self.v_train
+        v.fastest = self._fastest
+        v.slowest = self._slowest
+        v.significance = self._last_significance
+        v.rng = self.rng
+        return v
 
     @property
     def params(self) -> Optional[np.ndarray]:
@@ -494,7 +510,7 @@ class ShardServer:
                 if self.execution is ExecutionMode.LAZY:
                     self._respond(req, released=True)
                     continue
-                s_now = self.pull_con.staleness()
+                s_now = self.pull_con.staleness() if self._obs_on else None
                 recheck = self._view(progress=req.progress, worker=req.worker)
                 ok, flipped = self._eval_pull(recheck)
                 if ok:
@@ -544,7 +560,9 @@ class ShardServer:
                 uid=self.uid, shard=self.shard_id, worker=worker,
                 progress=progress, v_train=self.v_train,
             )
-        s_now = self.pull_con.staleness()
+        # The threshold is read *before* evaluation (DSPS adjusts it as an
+        # evaluation side effect) but only observability consumes it.
+        s_now = self.pull_con.staleness() if self._obs_on else None
         view = self._view(progress=progress, worker=worker)
         ok, flipped = self._eval_pull(view)
         if ok:
@@ -590,9 +608,18 @@ class ShardServer:
         bound, and a coin-paused pull marks its DPR as probabilistic.
         """
         con = self.pull_con
-        flips_before = getattr(con, "coin_flips", None)
-        ok = con(view)
-        flipped = flips_before is not None and con.coin_flips > flips_before
+        # Cache the has-coin probe per condition object: getattr with a
+        # default walks the exception path for every coinless pull.
+        if con is not self._coin_con:
+            self._coin_con = con
+            self._coin_on = hasattr(con, "coin_flips")
+        if self._coin_on:
+            flips_before = con.coin_flips
+            ok = con(view)
+            flipped = con.coin_flips > flips_before
+        else:
+            ok = con(view)
+            flipped = False
         if flipped:
             self.metrics.record_probabilistic(passed=ok)
             if self._obs_on:
@@ -760,3 +787,47 @@ class ShardServer:
             f"execution={self.execution.value} v_train={self.v_train} "
             f"buffered={self.buffered_pulls}"
         )
+
+
+def flush_applies_across(servers: List["ShardServer"]) -> None:
+    """Flush deferred batched applies for a fleet of shard servers, with
+    one vectorized numpy pass *across shards* per pending row.
+
+    Per-shard flushes (:meth:`ShardServer._flush_applies`) pay one numpy
+    dispatch per gradient row per shard.  When several shards hold the
+    same number of pending rows at the same length (the common case under
+    an even slicer), this stacks them into an ``(m, k, L)`` batch, scales
+    once, and adds row ``i`` of every shard in one ``(m, L)`` operation —
+    per-shard, per-element addition order is unchanged, so the results
+    are bit-identical to calling ``_flush_applies`` on each server.
+    Shards that don't fit a group (odd shapes, single pending row, lone
+    member) fall back to their own flush.
+    """
+    groups: Dict[Tuple[int, int, int], List["ShardServer"]] = {}
+    for s in servers:
+        pending = s._pending_grads
+        if not pending:
+            continue
+        if s._params is None or len(pending) == 1:
+            s._flush_applies()
+            continue
+        key = (len(pending), s._params.shape[0], s.n_workers)
+        groups.setdefault(key, []).append(s)
+    for (k, _length, n), grp in groups.items():
+        if len(grp) == 1:
+            grp[0]._flush_applies()
+            continue
+        rows = np.stack([s._pending_grads for s in grp])  # (m, k, L)
+        rows /= n  # elementwise: equals each shard's own ``stack /= N``
+        stacked = np.stack([s._params for s in grp])  # (m, L)
+        for i in range(k):
+            stacked += rows[:, i, :]
+        for j, s in enumerate(grp):
+            pending = s._pending_grads
+            s._pending_grads = []
+            params = s._params
+            params[...] = stacked[j]
+            s.apply_flushes += 1
+            s._last_significance = gradient_significance(
+                float(np.linalg.norm(pending[-1])), float(np.linalg.norm(params))
+            )

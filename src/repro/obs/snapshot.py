@@ -34,14 +34,20 @@ class ServerSnapshotter:
         network=None,
         nodes: Optional[Sequence[str]] = None,
         engine=None,
+        dispatch=None,
     ):
         """``nodes`` limits NIC gauges to the named endpoints (typically
         the server nodes — the incast side); default is all endpoints.
         ``engine`` adds fast-forward health gauges (events skipped by
-        mesoscale windows, windows collapsed, calendar sweeps)."""
+        mesoscale windows, windows collapsed, calendar sweeps) plus the
+        elision counters (events elided, quiet regions, pending-event
+        high-water).  ``dispatch`` is any object exposing
+        ``server_msgs_inline``/``server_msgs_drained`` (the runner) and
+        adds the request-dispatch counters."""
         self.servers = list(servers)
         self.network = network
         self.engine = engine
+        self.dispatch = dispatch
         self.nodes: List[str] = (
             list(nodes)
             if nodes is not None
@@ -105,6 +111,27 @@ class ServerSnapshotter:
         self._g_sweeps = registry.gauge(
             "engine_calendar_sweeps", "heap-to-calendar migrations performed"
         )
+        self._g_elided = registry.gauge(
+            "engine_events_elided",
+            "events batch-served inside protocol-quiet regions",
+        )
+        self._g_quiet = registry.gauge(
+            "engine_quiet_regions", "protocol-quiet same-instant regions served"
+        )
+        self._g_pending_hwm = registry.gauge(
+            "engine_pending_event_hwm", "pending-event high-water mark"
+        )
+        self._g_fused = registry.gauge(
+            "net_fused_deliveries",
+            "deliveries folded into their TX-completion event",
+        )
+        self._g_inline = registry.gauge(
+            "ps_dispatch_inline", "requests handled inside the delivery event"
+        )
+        self._g_drained = registry.gauge(
+            "ps_dispatch_drained",
+            "requests served behind a busy shard lane (cascade or drain)",
+        )
         self._b_inflight = self._g_inflight.labels()
         self._b_net_bytes = self._g_net_bytes.labels()
         self._b_fast = self._g_fast.labels()
@@ -112,6 +139,12 @@ class ServerSnapshotter:
         self._b_skipped = self._g_skipped.labels()
         self._b_collapsed = self._g_collapsed.labels()
         self._b_sweeps = self._g_sweeps.labels()
+        self._b_elided = self._g_elided.labels()
+        self._b_quiet = self._g_quiet.labels()
+        self._b_pending_hwm = self._g_pending_hwm.labels()
+        self._b_fused = self._g_fused.labels()
+        self._b_inline = self._g_inline.labels()
+        self._b_drained = self._g_drained.labels()
         self._per_node = (
             [
                 (
@@ -150,11 +183,18 @@ class ServerSnapshotter:
             self._b_skipped.set(self.engine.events_skipped)
             self._b_collapsed.set(self.engine.windows_collapsed)
             self._b_sweeps.set(self.engine.calendar_sweeps)
+            self._b_elided.set(self.engine.events_elided)
+            self._b_quiet.set(self.engine.quiet_regions)
+            self._b_pending_hwm.set(self.engine.pending_high_water)
+        if self.dispatch is not None:
+            self._b_inline.set(self.dispatch.server_msgs_inline)
+            self._b_drained.set(self.dispatch.server_msgs_drained)
         if self.network is not None:
             self._b_inflight.set(self.network.bytes_in_flight)
             self._b_net_bytes.set(self.network.total_bytes)
             self._b_fast.set(self.network.fast_path_transfers)
             self._b_fallback.set(self.network.fallback_transfers)
+            self._b_fused.set(self.network.fused_deliveries)
             for ep, b_tx, b_rx in self._per_node:
                 b_tx.set(ep.tx_utilization(now))
                 b_rx.set(ep.rx_utilization(now))
@@ -178,6 +218,14 @@ class ServerSnapshotter:
                 self._b_skipped.set(self.engine.events_skipped)
                 self._b_collapsed.set(self.engine.windows_collapsed)
                 self._b_sweeps.set(self.engine.calendar_sweeps)
+                self._b_elided.set(self.engine.events_elided)
+                self._b_quiet.set(self.engine.quiet_regions)
+                self._b_pending_hwm.set(self.engine.pending_high_water)
+            if self.dispatch is not None:
+                self._b_inline.set(self.dispatch.server_msgs_inline)
+                self._b_drained.set(self.dispatch.server_msgs_drained)
+            if self.network is not None:
+                self._b_fused.set(self.network.fused_deliveries)
             return
         self.scrape(now)
 

@@ -414,12 +414,18 @@ class Engine:
         "_ff_events_skipped",
         "_ff_windows_collapsed",
         "_cal_sweeps",
+        "_elide_enabled",
+        "_elidable",
+        "_events_elided",
+        "_quiet_regions",
+        "_pending_hwm",
     )
 
     def __init__(
         self,
         calendar: Optional[bool] = None,
         calendar_threshold: Optional[int] = None,
+        elide: Optional[bool] = None,
     ) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Callable[[Any], None], Any]] = []
@@ -452,6 +458,18 @@ class Engine:
         self._ff_events_skipped = 0
         self._ff_windows_collapsed = 0
         self._cal_sweeps = 0
+        #: Protocol-quiet elision (``elide=False`` keeps the event-by-event
+        #: drain as the differential oracle, like ``calendar=False``).
+        self._elide_enabled = elide is not False
+        #: Callbacks registered via ``spawn(..., elidable=True)``: resumes
+        #: that are pure compute-phase completions — a same-timestamp run
+        #: of them is a protocol-quiet region the drain may batch-serve.
+        self._elidable: Set[Callable[[Any], None]] = set()
+        self._events_elided = 0
+        self._quiet_regions = 0
+        #: Pending-event high-water mark, sampled at queue-maintenance
+        #: points (drain entry, sweeps, refills) — not per push.
+        self._pending_hwm = 0
 
     # -- raw callback scheduling --------------------------------------
 
@@ -504,6 +522,9 @@ class Engine:
         (``Process._make_step`` captures it; the network pushes to it).
         """
         heap = self._heap
+        pend = len(heap) + (len(self._batch) - self._bi) + self._cal_count
+        if pend > self._pending_hwm:
+            self._pending_hwm = pend
         events = sorted(heap)
         heap.clear()
         self._cal_sweeps += 1
@@ -553,6 +574,9 @@ class Engine:
 
     def _refill(self) -> None:
         """Merge the earliest calendar bucket into the window."""
+        pend = len(self._heap) + (len(self._batch) - self._bi) + self._cal_count
+        if pend > self._pending_hwm:
+            self._pending_hwm = pend
         buckets = self._cal_buckets
         minheap = self._cal_minheap
         while minheap and minheap[0][1] not in buckets:
@@ -614,6 +638,33 @@ class Engine:
     def windows_collapsed(self) -> int:
         """Fully drained fast-forward windows."""
         return self._ff_windows_collapsed
+
+    @property
+    def elide_enabled(self) -> bool:
+        """Whether protocol-quiet region elision may engage."""
+        return self._elide_enabled
+
+    @property
+    def events_elided(self) -> int:
+        """Events served inside protocol-quiet regions: the clock advanced
+        once per region and all per-event merge/refill/tombstone
+        bookkeeping was skipped (every callback still executed, in the
+        exact order the event-by-event drain would have used)."""
+        return self._events_elided
+
+    @property
+    def quiet_regions(self) -> int:
+        """Protocol-quiet regions batch-served by the drain."""
+        return self._quiet_regions
+
+    @property
+    def pending_high_water(self) -> int:
+        """Largest pending-event population observed, sampled at
+        queue-maintenance points (drain entry, sweeps, refills)."""
+        pend = len(self._heap) + (len(self._batch) - self._bi) + self._cal_count
+        if pend > self._pending_hwm:
+            self._pending_hwm = pend
+        return self._pending_hwm
 
     def _pack(self, fn: Callable[..., None], args: Tuple[Any, ...]):
         """Adapt an external ``fn(*args)`` callback to the one-arg protocol."""
@@ -684,9 +735,24 @@ class Engine:
 
     # -- process/waitable API ------------------------------------------
 
-    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
-        """Start a generator as a process; returns a joinable Process."""
+    def spawn(self, gen: ProcessGen, name: str = "", elidable: bool = False) -> Process:
+        """Start a generator as a process; returns a joinable Process.
+
+        ``elidable=True`` declares that this process's resumes are pure
+        compute-phase completions: a same-timestamp run of resumes from
+        elidable processes is a *protocol-quiet region* the fast drain
+        may batch-serve (advancing the clock once, skipping per-event
+        queue bookkeeping).  Callback order is bit-identical either way;
+        the declaration only unlocks the cheaper serving mode.  Any
+        interleaved non-elidable event at the same instant, or a cancel
+        landing mid-region, breaks the region back to event-by-event
+        service.  Only mark processes whose resume cannot be invalidated
+        by a peer resume at the same timestamp (worker compute phases
+        qualify: their sends land strictly later or at higher seq).
+        """
         proc = Process(self, gen, name=name)
+        if elidable:
+            self._elidable.add(proc._step_cb)
         proc._start()
         return proc
 
@@ -848,15 +914,19 @@ class Engine:
             gc.set_threshold(
                 max(saved_thresholds[0], _GC_DRAIN_GEN0), *saved_thresholds[1:]
             )
-            frozen = (
-                len(heap) + (len(self._batch) - self._bi) + self._cal_count
-                >= _GC_FREEZE_PENDING
-            )
+            pend = len(heap) + (len(self._batch) - self._bi) + self._cal_count
+            if pend > self._pending_hwm:
+                self._pending_hwm = pend
+            frozen = pend >= _GC_FREEZE_PENDING
             if frozen:
                 gc.collect()
                 gc.freeze()
             skipped = 0
             collapsed = 0
+            elided = 0
+            regions = 0
+            elidable = self._elidable
+            elide_on = self._elide_enabled and bool(elidable)
             try:
                 if not self._cal_enabled:
                     # Differential fallback (calendar=False): the original
@@ -916,6 +986,30 @@ class Engine:
                                 )
                             self.now = when
                             processed += 1
+                            if elide_on and fn in elidable and heap:
+                                top = heap[0]
+                                if top[0] == when and top[2] in elidable:
+                                    # Protocol-quiet region (heap regime):
+                                    # a same-timestamp run of elidable
+                                    # resumes.  Serve it without per-event
+                                    # clock/floor/sweep bookkeeping; a
+                                    # cancel (tombstones turns truthy) or
+                                    # any non-elidable event surfacing at
+                                    # this instant breaks the region back
+                                    # to event-by-event service.
+                                    fn(arg)
+                                    count = 1
+                                    while not tombstones and heap:
+                                        top = heap[0]
+                                        if top[0] != when or top[2] not in elidable:
+                                            break
+                                        pop(heap)
+                                        count += 1
+                                        top[2](top[3])
+                                    processed += count - 1
+                                    elided += count
+                                    regions += 1
+                                    continue
                             fn(arg)
                         continue
                     # Window live: serve the 2-way merge of the presorted
@@ -942,15 +1036,53 @@ class Engine:
                         if len(heap) > threshold:
                             self._sweep()
                         continue
-                    self._bi = bi + 1
                     when, seq, fn, arg = entry
                     if tombstones and seq in tombstones:
+                        self._bi = bi + 1
                         tombstones.discard(seq)
                         continue
                     if when < self.now:
                         raise SimulationError(
                             "event heap corrupted: time went backwards"
                         )
+                    if (
+                        elide_on
+                        and fn in elidable
+                        and bi + 1 < blen
+                        and batch[bi + 1][0] == when
+                        and batch[bi + 1][2] in elidable
+                    ):
+                        # Protocol-quiet region (window regime): advance
+                        # the clock once and serve the same-timestamp run
+                        # of elidable resumes with no per-event merge /
+                        # refill / clock bookkeeping.  Window seqs always
+                        # predate heap seqs (sweeps clear the heap), so a
+                        # heap entry can never win a same-instant tie —
+                        # but a re-post landing at this instant, or a
+                        # cancel (tombstones turns truthy), conservatively
+                        # breaks the region back to event-by-event
+                        # service.  ``_bi`` advances before each callback
+                        # so the tombstone boundary scan still sees the
+                        # unserved tail.
+                        self.now = when
+                        j = bi
+                        while j < blen and not tombstones:
+                            e = batch[j]
+                            if e[0] != when or e[2] not in elidable:
+                                break
+                            if heap and heap[0][0] <= when:
+                                break
+                            j = j + 1
+                            self._bi = j
+                            e[2](e[3])
+                        count = j - bi
+                        if count:
+                            processed += count
+                            skipped += count
+                            elided += count
+                            regions += 1
+                            continue
+                    self._bi = bi + 1
                     self.now = when
                     processed += 1
                     skipped += 1
@@ -959,6 +1091,8 @@ class Engine:
                 self._events_processed += processed
                 self._ff_events_skipped += skipped
                 self._ff_windows_collapsed += collapsed
+                self._events_elided += elided
+                self._quiet_regions += regions
                 gc.set_threshold(*saved_thresholds)
                 if frozen:
                     gc.unfreeze()

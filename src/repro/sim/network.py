@@ -158,6 +158,8 @@ class Network:
         "messages_in_flight",
         "fast_path_transfers",
         "fallback_transfers",
+        "fuse_delivery",
+        "fused_deliveries",
         "causal",
         "delay_hook",
         "_next_msg_id",
@@ -206,6 +208,16 @@ class Network:
         #: Scheduling-path counters (scraped by ``repro.obs.snapshot``).
         self.fast_path_transfers = 0
         self.fallback_transfers = 0
+        #: Fused delivery (set by the runner's analytic drain lanes): a
+        #: signal-free send to a sink endpoint folds its delivery into the
+        #: TX-completion event — ``msg.deliver_time`` carries the exact
+        #: RX-drain instant, the sink runs with that virtual clock, and
+        #: the per-message delivery event disappears.  Only engaged when
+        #: nothing can observe real-time delivery (no signal, no delivery
+        #: hooks); timings are bit-identical because the RX cursor math is
+        #: unchanged and sinks time themselves off ``deliver_time``.
+        self.fuse_delivery = False
+        self.fused_deliveries = 0
         #: Causal span sink (a :class:`repro.obs.causal.CausalTrace`);
         #: ``None`` keeps the wire paths recording-free.  Recording only
         #: *reads* the already-fixed timeline, so timestamps are
@@ -256,21 +268,54 @@ class Network:
         tag: str = "",
         deliver_to_inbox: bool = True,
         cause: int = -1,
-    ) -> Signal:
+        notify: bool = True,
+        at: float = -1.0,
+        on_deliver: Optional[Callable[[Message], None]] = None,
+    ) -> Optional[Signal]:
         """Start a transfer; returns a Signal fired with the Message upon
         delivery.  The message is also appended to the destination inbox
         (unless ``deliver_to_inbox=False`` for pure timing probes).
         ``cause`` is the sender's causal span id (ignored unless a causal
-        trace is attached via :attr:`causal`)."""
+        trace is attached via :attr:`causal`).  ``notify=False`` skips the
+        delivery signal entirely and returns ``None`` — for callers that
+        never subscribe (the runner's push/pull requests), saving one
+        signal allocation per message at incast rates.  Timing is
+        identical either way: the signal only ever *observes* delivery.
+        ``at`` (>= ``engine.now``) sends from a virtual instant instead of
+        the engine clock — the runner's analytic drain lanes use it so a
+        reply issued from a cascaded handle time serializes exactly when
+        the event-driven drain would have sent it.  ``on_deliver`` runs a
+        plain callback inline inside the delivery event instead of firing
+        a Signal — one event and one allocation cheaper per message than
+        subscribing; it supersedes ``notify`` and the call returns None."""
         if size_bytes < 0:
             raise ValueError(f"negative message size: {size_bytes}")
-        try:
-            src_ep = self.endpoints[src]
-            dst_ep = self.endpoints[dst]
-        except KeyError as missing:
-            raise KeyError(f"unknown node {missing.args[0]!r}") from None
+        # ``src``/``dst`` may be Endpoint objects instead of node ids: at
+        # 100k workers the endpoint registry is a large dict and the two
+        # lookups per send are cache misses; hot callers (the runner)
+        # memoize their endpoints and skip the registry entirely.
+        if src.__class__ is str:
+            try:
+                src_ep = self.endpoints[src]
+            except KeyError as missing:
+                raise KeyError(f"unknown node {missing.args[0]!r}") from None
+        else:
+            src_ep = src
+            src = src_ep.node_id
+        if dst.__class__ is str:
+            try:
+                dst_ep = self.endpoints[dst]
+            except KeyError as missing:
+                raise KeyError(f"unknown node {missing.args[0]!r}") from None
+        else:
+            dst_ep = dst
+            dst = dst_ep.node_id
         engine = self.engine
         now = engine.now
+        if at >= 0.0:
+            if at < now:
+                raise ValueError(f"cannot send from the past: {at} < {now}")
+            now = at
         # Manual slot fills mirror Message.__init__ / Signal.__init__ (keep
         # in sync): skipping the constructor frames saves ~100 ns per
         # message, which is real money at incast rates.  The signal's
@@ -289,12 +334,17 @@ class Network:
         msg.cause_id = cause
         self.bytes_in_flight += size_bytes
         self.messages_in_flight += 1
-        done = _SIGNAL_NEW(Signal)
-        done._engine = engine
-        done._fired = False
-        done._payload = None
-        done._waiters = None
-        done.name = "deliver"
+        if on_deliver is not None:
+            done = on_deliver
+        elif notify:
+            done = _SIGNAL_NEW(Signal)
+            done._engine = engine
+            done._fired = False
+            done._payload = None
+            done._waiters = None
+            done.name = "deliver"
+        else:
+            done = None
         if self.analytic:
             # Analytic fast path: the TX lane is a capacity-1 FIFO, so
             # this transfer starts serializing the instant the lane frees.
@@ -385,9 +435,36 @@ class Network:
                 q, f"{msg.src}->{msg.dst}", "wire", tx_start, arrival, tag=msg.tag
             )
             msg.cause_id = causal.record(w, msg.dst, "rx", arrival, rx_end, tag=msg.tag)
+        engine = self.engine
+        if (
+            done is None
+            and self.fuse_delivery
+            and deliver_to_inbox
+            and dst_ep.sink is not None
+            and not self._delivery_hooks
+            and engine._choice_hook is None
+        ):
+            # Fused delivery: nothing observes this message in real time
+            # (no signal, no hooks, sink consumer), so fold the delivery
+            # bookkeeping into this TX event.  ``deliver_time`` carries
+            # the exact RX-drain instant the delivery event would have
+            # fired at; the sink (the runner's analytic drain lane) times
+            # the handle off it, so the timeline is bit-identical — only
+            # the per-message delivery event disappears.
+            self.fused_deliveries += 1
+            size = msg.size_bytes
+            dst_ep.rx_busy_s += rx_hold
+            self.bytes_in_flight -= size
+            self.messages_in_flight -= 1
+            dst_ep.bytes_received += size
+            dst_ep.messages_received += 1
+            self.total_bytes += size
+            self.total_messages += 1
+            msg.deliver_time = rx_end
+            dst_ep.sink(msg)
+            return
         # The packed tuple is reused verbatim for the delivery event (one
         # fewer allocation per message); _fast_deliver ignores the TX slots.
-        engine = self.engine
         engine._seq = seq = engine._seq + 1
         _heappush(engine._heap, (rx_end, seq, self._deliver_cb, packed))
 
@@ -424,19 +501,24 @@ class Network:
             for hook in hooks:
                 hook(msg)
         # Inlined Signal.fire (keep in sync): `done` is created unfired by
-        # send() and fired exactly once, here.
-        done._fired = True
-        done._payload = msg
-        waiters = done._waiters
-        if waiters:
-            done._waiters = None
-            now = engine.now
-            heap = engine._heap
-            seq = engine._seq
-            for cb in waiters:
-                seq += 1
-                _heappush(heap, (now, seq, cb, msg))
-            engine._seq = seq
+        # send() and fired exactly once, here (None for notify=False sends;
+        # a plain callable for on_deliver sends, invoked inline instead).
+        if done is not None:
+            if done.__class__ is not Signal:
+                done(msg)
+                return
+            done._fired = True
+            done._payload = msg
+            waiters = done._waiters
+            if waiters:
+                done._waiters = None
+                now = engine.now
+                heap = engine._heap
+                seq = engine._seq
+                for cb in waiters:
+                    seq += 1
+                    _heappush(heap, (now, seq, cb, msg))
+                engine._seq = seq
 
     def _transfer(self, msg, src_ep, dst_ep, done, deliver_to_inbox):
         # Bare-number yields are the engine's zero-allocation timeout path;
@@ -513,7 +595,11 @@ class Network:
                 dst_ep.inbox.put(msg)
         for hook in self._delivery_hooks:
             hook(msg)
-        done.fire(msg)
+        if done is not None:
+            if done.__class__ is not Signal:
+                done(msg)
+            else:
+                done.fire(msg)
 
     def transfer_time_estimate(self, src: str, dst: str, size_bytes: int) -> float:
         """Uncontended end-to-end transfer time (analytic, for sizing).

@@ -33,7 +33,12 @@ from repro.core.keyspace import ElasticSlicer, ModelSpec, Slicer
 from repro.core.layout import ShardLayout
 from repro.core.metrics import SyncMetrics
 from repro.core.models import SyncModel
-from repro.core.server import ExecutionMode, PullReply, ShardServer
+from repro.core.server import (
+    ExecutionMode,
+    PullReply,
+    ShardServer,
+    flush_applies_across,
+)
 from repro.ml.models_zoo import Workload
 from repro.ml.training import TrainingTask
 from repro.obs import Observability, current_observability
@@ -92,6 +97,16 @@ class SimConfig:
     #: Pending-event count that triggers calendar migration; None → the
     #: engine default.
     engine_calendar_threshold: Optional[int] = None
+    #: Protocol-quiet event elision: None/True → the engine batch-serves
+    #: same-timestamp runs of worker compute-phase completions (clock
+    #: advanced once per region, no per-event queue bookkeeping), False →
+    #: event-by-event service, kept as the differential oracle exactly
+    #: like ``engine_calendar=False`` and ``server_dispatch="proc"``.
+    #: Served callback order — and thus the S001–S016 protocol event
+    #: stream and final params — is bit-identical either way.  See
+    #: docs/PERFORMANCE.md, "Protocol-quiet elision and parallel shard
+    #: drains".
+    engine_elide: Optional[bool] = None
     #: Server request dispatch.  ``"direct"`` (default) handles each
     #: delivered request inside the delivery event via the endpoint sink:
     #: no inbox round-trip, no per-request resume event — a busy server
@@ -101,6 +116,25 @@ class SimConfig:
     #: per-server FIFO order are bit-identical between the two; only the
     #: event structure differs.
     server_dispatch: str = "direct"
+    #: Busy-server drain mode under direct dispatch.  ``"lane"``
+    #: (default): each shard runs an analytic drain lane — a parked
+    #: request's handle time is the cascade ``max(deliver_time, lane busy
+    #: end)`` computed at arrival, served immediately on the per-shard
+    #: virtual clock, so no per-message drain events exist and (on the
+    #: analytic wire) request deliveries fuse into their TX-completion
+    #: events.  ``"event"`` keeps the sequential busy-window drain (one
+    #: engine event per parked request) as the differential oracle.
+    #: Handle times, protocol event streams, and final params are
+    #: bit-identical across modes; see docs/PERFORMANCE.md.
+    server_drain: str = "lane"
+    #: Per-worker observability series cap.  Below this worker count the
+    #: runner keeps one ``pull_latency_seconds`` sketch series per worker
+    #: (labels ``worker=<w>``); above it, all workers share a single
+    #: aggregate series (``worker="all"``) so the metrics registry stays
+    #: bounded at mesoscale — at 100k workers per-worker label sets would
+    #: dominate run memory.  Sketches merge exactly, so the aggregate is
+    #: byte-identical to merging the per-worker series after the fact.
+    worker_series_threshold: int = 4096
 
     def __post_init__(self) -> None:
         if self.max_iter < 1:
@@ -109,6 +143,16 @@ class SimConfig:
             raise ValueError(
                 f"server_dispatch must be 'direct' or 'proc', "
                 f"got {self.server_dispatch!r}"
+            )
+        if self.server_drain not in ("lane", "event"):
+            raise ValueError(
+                f"server_drain must be 'lane' or 'event', "
+                f"got {self.server_drain!r}"
+            )
+        if self.worker_series_threshold < 1:
+            raise ValueError(
+                f"worker_series_threshold must be >= 1, "
+                f"got {self.worker_series_threshold}"
             )
         if self.task is None and self.workload is None:
             raise ValueError("need a TrainingTask and/or a Workload")
@@ -172,20 +216,20 @@ class SimRunResult:
         return self.metrics.dprs_per_100_iterations(self.iterations)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PushMsg:
     worker: int
     progress: int
     shard: Optional[np.ndarray]
 
 
-@dataclass
+@dataclass(slots=True)
 class _PullMsg:
     worker: int
     progress: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _ReplyMsg:
     server: int
     reply: PullReply
@@ -212,6 +256,7 @@ class FluentPSSimRunner:
         self.engine = Engine(
             calendar=config.engine_calendar,
             calendar_threshold=config.engine_calendar_threshold,
+            elide=config.engine_elide,
         )
         self.net: Network = config.cluster.make_network(self.engine)
         self.obs = config.obs or current_observability()
@@ -235,7 +280,12 @@ class FluentPSSimRunner:
                 model=models[j],
                 execution=config.execution,
                 params=shard_vectors[j] if training else None,
-                clock=lambda: self.engine.now,
+                # Per-shard drain-lane clock: equals ``engine.now`` inside
+                # real handle events, and the cascaded virtual handle time
+                # when the analytic lane serves a parked request — so
+                # waited times and protocol instants are bit-identical
+                # across drain modes.
+                clock=lambda j=j: self._srv_now[j],
                 rng=derive_rng(config.seed, "server", j),
                 obs=self.obs,
             )
@@ -254,13 +304,21 @@ class FluentPSSimRunner:
             )
             self.causal = self._capture.causal
             self.net.causal = self.causal
-            self._pull_sketches = [
-                self.obs.registry.sketch(
-                    "pull_latency_seconds",
-                    "sync-wait seconds per sPull round (mergeable sketch)",
-                ).labels(worker=w)
-                for w in range(n)
-            ]
+            pull_sketch = self.obs.registry.sketch(
+                "pull_latency_seconds",
+                "sync-wait seconds per sPull round (mergeable sketch)",
+            )
+            if n > config.worker_series_threshold:
+                # Mesoscale: one shared aggregate series instead of one
+                # label set per worker keeps the registry bounded (the
+                # sketch merge is exact, so nothing is lost but the
+                # per-worker split — see SimConfig.worker_series_threshold).
+                agg = pull_sketch.labels(worker="all")
+                self._pull_sketches = [agg] * n
+            else:
+                self._pull_sketches = [
+                    pull_sketch.labels(worker=w) for w in range(n)
+                ]
             self.obs.instants.record(
                 "run_config", 0.0, actor="runner",
                 runner="sim", n_workers=n, n_servers=m,
@@ -281,10 +339,35 @@ class FluentPSSimRunner:
         # busy-window close time, parked arrivals, and whether a drain
         # event is already on the calendar for that server.
         self._direct = config.server_dispatch == "direct"
+        # Analytic drain lanes need cursor-scheduled (analytic) wire
+        # timing; the process-path wire falls back to the event drain.
+        self._lane = (
+            self._direct and config.server_drain == "lane" and self.net.analytic
+        )
         self._srv_names = [f"server{j}" for j in range(m)]
         self._srv_busy = [0.0] * m
+        # Per-shard virtual clock: the handle time of the request this
+        # shard is currently serving (== engine.now inside real handle
+        # events).  ShardServer.clock reads it, so DPR waits and protocol
+        # instants see identical times in lane and event drain modes.
+        self._srv_now = [0.0] * m
         self._srv_queue: List[Deque[Message]] = [deque() for _ in range(m)]
         self._srv_drain_pending = [False] * m
+        # Hot-path memos: node-id strings, per-shard wire sizes, and (when
+        # causal tracing is off) one prebound pull responder per server —
+        # all pure functions of the config, resolved once instead of per
+        # request at incast rates.
+        self._srv_node_ids = [config.cluster.server_id(j) for j in range(m)]
+        self._wkr_node_ids = [config.cluster.worker_id(w) for w in range(n)]
+        # Endpoint objects resolved once: Network.send accepts them in
+        # place of node ids, skipping two registry lookups per message
+        # (cache misses once the registry holds 100k entries).
+        self._srv_eps = [self.net.endpoints[i] for i in self._srv_node_ids]
+        self._wkr_eps = [self.net.endpoints[i] for i in self._wkr_node_ids]
+        self._shard_bytes = [self._payload_bytes(j) for j in range(m)]
+        self._responders = [
+            partial(self._send_reply, j) for j in range(m)
+        ]
         #: Dispatch counters (perf detail): requests handled inline in
         #: the delivery event vs. parked behind a busy server and drained.
         self.server_msgs_inline = 0
@@ -318,39 +401,53 @@ class FluentPSSimRunner:
         ep = self.net.endpoint(self.cfg.cluster.server_id(m))
         while True:
             msg: Message = yield ep.inbox.get()
-            cost = self._handle_server_msg(m, msg)
+            cost = self._handle_server_msg(m, msg, self.engine.now)
             if cost > 0:
                 yield Timeout(cost)
 
     def _dispatch_server(self, m: int, msg: Message) -> None:
         """Endpoint sink (``server_dispatch="direct"``): handle the
         request inside the delivery event while the server is free;
-        otherwise park it and drain FIFO when the busy window closes.
-        Handle time is ``max(deliver_time, previous handle end)`` either
-        way — identical to the proc loop — but the free case costs zero
-        extra events and the busy case exactly one drain event."""
-        if self.engine.now >= self._srv_busy[m] and not self._srv_queue[m]:
+        otherwise the drain mode decides.  ``"lane"``: serve it *now* at
+        the cascaded virtual handle time ``max(deliver_time, lane busy
+        end)`` — arrival order equals handle order per shard, so the
+        cascade reproduces the busy-window FIFO with zero extra events.
+        ``"event"``: park it and drain FIFO when the busy window closes
+        (one engine event per parked request, the differential oracle).
+        Handle times are bit-identical across modes and to the proc
+        loop."""
+        now = msg.deliver_time
+        busy = self._srv_busy[m]
+        if self._lane:
+            if now >= busy:
+                self.server_msgs_inline += 1
+                self._handle_server_msg(m, msg, now)
+            else:
+                self.server_msgs_drained += 1
+                self._handle_server_msg(m, msg, busy)
+            return
+        if now >= busy and not self._srv_queue[m]:
             self.server_msgs_inline += 1
-            self._handle_server_msg(m, msg)
+            self._handle_server_msg(m, msg, now)
         else:
             self._srv_queue[m].append(msg)
             if not self._srv_drain_pending[m]:
                 self._srv_drain_pending[m] = True
-                self.engine._schedule(self._srv_busy[m], self._drain_server, m)
+                self.engine._schedule(busy, self._drain_server, m)
 
     def _drain_server(self, m: int) -> None:
         self._srv_drain_pending[m] = False
         self.server_msgs_drained += 1
-        self._handle_server_msg(m, self._srv_queue[m].popleft())
+        self._handle_server_msg(m, self._srv_queue[m].popleft(), self.engine.now)
         if self._srv_queue[m]:
             self._srv_drain_pending[m] = True
             self.engine._schedule(self._srv_busy[m], self._drain_server, m)
 
-    def _handle_server_msg(self, m: int, msg: Message) -> float:
+    def _handle_server_msg(self, m: int, msg: Message, now: float) -> float:
         server = self.servers[m]
         causal = self.causal
         actor = self._srv_names[m]
-        now = self.engine.now
+        self._srv_now[m] = now
         payload = msg.payload
         # ``tip`` tracks the request's causal frontier through the
         # server: delivery rx -> backlog wait -> apply/DPR wait.
@@ -361,15 +458,21 @@ class FluentPSSimRunner:
                 shard=m, tag=msg.tag,
             )
         dprs_before = server.metrics.dprs
-        if isinstance(payload, _PushMsg):
+        cls = payload.__class__
+        if cls is _PushMsg:
             self._current_push_worker = payload.worker
             server.handle_push(payload.worker, payload.progress, grad=payload.shard)
             self._current_push_worker = -1
-        elif isinstance(payload, _PullMsg):
+        elif cls is _PullMsg:
             server.handle_pull(
                 payload.worker,
                 payload.progress,
-                respond=lambda reply, j=m, cid=tip: self._send_reply(j, reply, cid),
+                # Causal tracing threads the request's span id through the
+                # responder; with tracing off the prebound per-server
+                # responder avoids one closure per pull.
+                respond=self._responders[m]
+                if causal is None
+                else lambda reply, j=m, cid=tip: self._send_reply(j, reply, cid),
             )
         else:
             raise TypeError(f"server {m}: unexpected message payload {payload!r}")
@@ -398,16 +501,16 @@ class FluentPSSimRunner:
             # The pull sat in the DPR buffer from enqueue until this very
             # instant; the release happens inside the straggler's push, so
             # ``_current_push_worker`` names who to blame for the wait.
-            now = self.engine.now
+            now = self._srv_now[server]
             cause = causal.record(
                 cause, f"server{server}", "server_queue", now - reply.waited, now,
                 worker=reply.worker, iteration=reply.progress, shard=server,
                 tag="dpr", blocked_on=self._current_push_worker,
             )
         self.net.send(
-            self.cfg.cluster.server_id(server),
-            self.cfg.cluster.worker_id(reply.worker),
-            self._payload_bytes(server),
+            self._srv_eps[server],
+            self._wkr_eps[reply.worker],
+            self._shard_bytes[server],
             payload=_ReplyMsg(server, reply),
             tag="reply",
             cause=cause,
@@ -419,7 +522,14 @@ class FluentPSSimRunner:
             # reply Message (and its COW snapshot) alive in an unread
             # queue.
             deliver_to_inbox=False,
-        ).subscribe(self._on_reply_delivered)
+            # Replies issued from a cascaded lane handle must serialize
+            # at the virtual handle time, not the (earlier) engine clock.
+            at=self._srv_now[server],
+            # Inline delivery callback: skips the Signal allocation and
+            # the subscriber resume event per reply (the gather happens
+            # inside the delivery event itself).
+            on_deliver=self._on_reply_delivered,
+        )
 
     def _on_reply_delivered(self, msg: Message) -> None:
         payload: _ReplyMsg = msg.payload
@@ -438,21 +548,31 @@ class FluentPSSimRunner:
 
     def _worker_proc(self, w: int):
         cfg = self.cfg
-        node = cfg.cluster.worker_id(w)
+        engine = self.engine
+        send = self.net.send
+        node = self._wkr_eps[w]
+        srv_ids = self._srv_eps
+        n_servers = cfg.cluster.n_servers
+        push_bytes = self._shard_bytes  # exact when wire_factor == 1.0
+        request_bytes = cfg.request_bytes
+        header_bytes = cfg.header_bytes
+        record_span = self.trace.record_span
+        compute_rng = self._compute_rngs[w]
+        sample = self.compute_model.sample
         name = f"worker{w}"
         base = cfg.resolved_base_compute(cfg.cluster.workers[w].flops)
         params = cfg.task.init_params.copy() if cfg.task is not None else None
         causal = self.causal
         sketch = self._pull_sketches[w] if self._pull_sketches is not None else None
         for i in range(cfg.max_iter):
-            dur = self.compute_model.sample(w, i, base, self._compute_rngs[w])
-            t0 = self.engine.now
-            yield Timeout(dur)
-            self.trace.record_span(name, SpanKind.COMPUTE, t0, self.engine.now, i)
+            dur = sample(w, i, base, compute_rng)
+            t0 = engine.now
+            yield dur  # zero-allocation spelling of Timeout(dur)
+            record_span(name, SpanKind.COMPUTE, t0, engine.now, i)
             cause = -1
             if causal is not None:
                 cause = causal.record(
-                    -1, name, "compute", t0, self.engine.now, worker=w, iteration=i
+                    -1, name, "compute", t0, engine.now, worker=w, iteration=i
                 )
             wire_factor = 1.0
             if cfg.task is not None:
@@ -463,58 +583,67 @@ class FluentPSSimRunner:
                 wire_factor = filtered.wire_bytes_factor
                 shards = self.layout.scatter(filtered.update)
             else:
-                shards = [None] * cfg.cluster.n_servers
+                shards = [None] * n_servers
             # sPush to every shard server (async — Algorithm 1 line 4).
-            t_sync = self.engine.now
-            for m in range(cfg.cluster.n_servers):
-                self.net.send(
+            # Neither pushes nor pulls subscribe to the delivery signal,
+            # so both ride the signal-free send path (notify=False).
+            t_sync = engine.now
+            for m in range(n_servers):
+                send(
                     node,
-                    cfg.cluster.server_id(m),
-                    max(cfg.header_bytes, int(self._payload_bytes(m) * wire_factor)),
+                    srv_ids[m],
+                    push_bytes[m]
+                    if wire_factor == 1.0
+                    else max(header_bytes, int(self._payload_bytes(m) * wire_factor)),
                     payload=_PushMsg(w, i, shards[m]),
                     tag="push",
                     cause=cause,
+                    notify=False,
                 )
             # sPull from every shard server, then wait (lines 5-6).  The
             # push/pull messages share the worker's FIFO TX lane, so each
             # server sees this iteration's push before its pull.
             pending = _PendingPull(
-                self.engine,
-                cfg.cluster.n_servers,
+                engine,
+                n_servers,
                 self.spec.total_elements if cfg.task is not None else None,
             )
             self._pending[(w, i)] = pending
-            for m in range(cfg.cluster.n_servers):
-                self.net.send(
+            for m in range(n_servers):
+                send(
                     node,
-                    cfg.cluster.server_id(m),
-                    cfg.request_bytes,
+                    srv_ids[m],
+                    request_bytes,
                     payload=_PullMsg(w, i),
                     tag="pull",
                     cause=cause,
+                    notify=False,
                 )
             yield pending.signal
-            self.trace.record_span(name, SpanKind.PULL, t_sync, self.engine.now, i)
+            record_span(name, SpanKind.PULL, t_sync, engine.now, i)
             if causal is not None:
                 # Terminal span of the iteration's DAG: parented on the
                 # last reply to land (the cause that released the wait).
                 parent = pending.last_cause if pending.last_cause >= 0 else cause
                 causal.record(
-                    parent, name, "sync_wait", t_sync, self.engine.now,
+                    parent, name, "sync_wait", t_sync, engine.now,
                     worker=w, iteration=i,
                 )
             if sketch is not None:
-                sketch.observe(self.engine.now - t_sync)
+                sketch.observe(engine.now - t_sync)
             if params is not None:
                 params = pending.flat
             if w == 0 and cfg.task is not None and cfg.eval_every > 0:
                 if (i + 1) % cfg.eval_every == 0 or i + 1 == cfg.max_iter:
                     value = cfg.task.eval_fn(self._global_params())
-                    self.eval_by_time.append(self.engine.now, value)
+                    self.eval_by_time.append(engine.now, value)
                     self.eval_by_iteration.append(i + 1, value)
-        self._finish_times[w] = self.engine.now
+        self._finish_times[w] = engine.now
 
     def _global_params(self) -> np.ndarray:
+        # One vectorized apply pass across shards before gathering (falls
+        # back to per-shard flushes for odd shapes; bit-identical).
+        flush_applies_across(self.servers)
         return self.layout.gather([s.params for s in self.servers])
 
     # -- run ---------------------------------------------------------------------------
@@ -528,8 +657,17 @@ class FluentPSSimRunner:
             for m in range(self.cfg.cluster.n_servers):
                 ep = self.net.endpoint(self.cfg.cluster.server_id(m))
                 ep.sink = partial(self._dispatch_server, m)
+            if self._lane:
+                # Analytic drain lanes time themselves off
+                # ``msg.deliver_time``, so signal-free request deliveries
+                # can fold into their TX-completion events.
+                self.net.fuse_delivery = True
+        # Worker compute phases are the homogeneous event population at
+        # scale; marking them elidable lets the engine batch-serve
+        # protocol-quiet same-instant runs (BSP barrier releases, the t=0
+        # start wave) without changing served order.
         for w in range(self.cfg.cluster.n_workers):
-            self.engine.spawn(self._worker_proc(w), name=f"worker{w}")
+            self.engine.spawn(self._worker_proc(w), name=f"worker{w}", elidable=True)
         snapshotter = None
         if self.obs.enabled:
             snapshotter = ServerSnapshotter(
@@ -538,6 +676,7 @@ class FluentPSSimRunner:
                 network=self.net,
                 nodes=[self.cfg.cluster.server_id(j) for j in range(self.cfg.cluster.n_servers)],
                 engine=self.engine,
+                dispatch=self,
             )
             interval = self.cfg.snapshot_interval_s
             if interval is None:

@@ -139,6 +139,12 @@ class TestAblationFunctions:
                     assert rec.metrics["wall_s"] > 0
                     assert rec.metrics["events"] > 0
                     assert rec.metrics["sim_s_per_iter"] > 0
+                    # Elision / memory columns are present in every cell
+                    # (counter values are population-dependent).
+                    assert rec.metrics["events_elided"] >= 0
+                    assert rec.metrics["quiet_regions"] >= 0
+                    assert rec.metrics["pending_event_hwm"] > 0
+                    assert rec.metrics["peak_rss_mb"] > 0
         # Barrier pressure is visible in the grid: at the largest N, BSP
         # issues at least as many DPRs as PSSP on every topology (the
         # sim-time ordering itself is a scaling claim, only stable at

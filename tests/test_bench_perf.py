@@ -28,6 +28,9 @@ TINY = PerfScale(
     macro10k_workers=8,
     macro10k_iters=1,
     macro10k_repeats=1,
+    macro100k_workers=12,
+    macro100k_iters=1,
+    macro100k_repeats=1,
     repeats=1,
 )
 
@@ -39,6 +42,7 @@ EXPECTED_BENCHMARKS = {
     "null_telemetry_overhead_pct",
     "macro_fig7_wall_s",
     "macro_10k_wall_s",
+    "macro_100k_wall_s",
     "sweep_wall_s",
 }
 
@@ -79,6 +83,20 @@ class TestSuite:
                 assert bench["value"] >= 0.0
             else:
                 assert bench["value"] > 0.0
+
+    def test_macro_detail_reports_memory_and_elision(self):
+        from repro.bench.perf import bench_macro_100k
+
+        result = bench_macro_100k(TINY)
+        for key in (
+            "peak_rss_mb",
+            "pending_event_hwm",
+            "events_elided",
+            "quiet_regions",
+            "fused_deliveries",
+        ):
+            assert key in result.detail, key
+        assert result.detail["peak_rss_mb"] > 0  # ru_maxrss works on Linux
 
     def test_render_mentions_every_benchmark(self):
         doc = run_suite(TINY)
@@ -147,6 +165,20 @@ class TestRegressionGate:
         failures = check_regression(cur, base, 0.30)
         assert len(failures) == 1
         assert "macro_10k_wall_s" in failures[0]
+        assert "events_per_sec" in failures[0]
+
+    def test_macro_100k_gated_like_the_10k_macro(self):
+        cur = _doc(1e6, macro_100k_wall_s=_macro(80.0))
+        base = _doc(1e6, macro_100k_wall_s=_macro(50.0))
+        failures = check_regression(cur, base, 0.30)
+        assert len(failures) == 1
+        assert "macro_100k_wall_s" in failures[0]
+        # Cross-scale: quick (5k workers) vs full (100k) gates on events/sec.
+        cur = _doc(1e6, scale="quick", macro_100k_wall_s=_macro(1.0, 40_000.0))
+        base = _doc(1e6, scale="full", macro_100k_wall_s=_macro(50.0, 200_000.0))
+        failures = check_regression(cur, base, 0.30)
+        assert len(failures) == 1
+        assert "macro_100k_wall_s" in failures[0]
         assert "events_per_sec" in failures[0]
 
     def test_cross_scale_skip_is_reported_by_name(self):

@@ -1,0 +1,366 @@
+"""Differential tests: protocol-quiet elision vs event-by-event service.
+
+``Engine(elide=False)`` is the oracle: elision's correctness claim is
+*exact* semantic equivalence — a same-instant run of elidable process
+resumes batch-served inside a quiet region must produce the same
+observation stream, byte for byte, as serving each resume through the
+full per-event clock/merge/sweep bookkeeping.  These tests run identical
+seeded programs through both engines (heap regime and calendar-window
+regime), force mid-region cancels and same-instant re-posts (the two
+invalidation triggers that must break a region back to event-by-event
+service), and then compare entire co-simulated training runs on every
+cluster preset × sync model × compute model cell — delivery traces,
+protocol instant streams, durations, and trained parameters.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import blobs_task
+from repro.core.models import ssp
+from repro.core.server import ExecutionMode
+from repro.ml.models_zoo import alexnet_cifar_workload
+from repro.obs import MetricsRegistry, Observability
+from repro.sim.cluster import cpu_cluster
+from repro.sim.engine import Engine
+from repro.sim.runner import FluentPSSimRunner, SimConfig
+from repro.sim.stragglers import DeterministicCompute, LogNormalCompute
+
+from tests.test_engine_fastforward import _preset_configs
+
+
+def _wave_program(n, waves, seed, jitter_frac=0.0, plain_frac=0.0):
+    """Build-callable: ``n`` elidable processes resuming in lockstep waves.
+
+    Every process yields the same per-wave delay, so each wave is one
+    same-instant run of elidable resumes — the protocol-quiet shape the
+    runner produces when homogeneous workers finish compute together.
+    ``jitter_frac`` desynchronizes that fraction of the processes
+    (regions must simply not form there); ``plain_frac`` interleaves
+    non-elidable processes at the same instants (regions must break
+    around them, stream unchanged).
+    """
+    rng = np.random.default_rng(seed)
+    jittered = rng.random(n) < jitter_frac
+    delays = [float(d) for d in rng.uniform(0.5, 2.5, size=waves)]
+    offsets = [float(o) for o in rng.uniform(1e-4, 1e-2, size=n)]
+    n_plain = int(round(n * plain_frac))
+
+    def build(eng, seen):
+        def worker(i):
+            for k, d in enumerate(delays):
+                yield d + (offsets[i] if jittered[i] else 0.0)
+                seen.append((eng.now, i, k))
+
+        def bystander(i):
+            for k, d in enumerate(delays):
+                yield d
+                seen.append((eng.now, ["plain", i], k))
+
+        for i in range(n):
+            eng.spawn(worker(i), name=f"w{i}", elidable=True)
+        for i in range(n_plain):
+            eng.spawn(bystander(i), name=f"p{i}")
+
+    return build
+
+
+def _run_both(build, **fast_kw):
+    fast = Engine(**fast_kw)
+    slow = Engine(elide=False, **fast_kw)
+    seen_fast, seen_slow = [], []
+    build(fast, seen_fast)
+    build(slow, seen_slow)
+    fast.run()
+    slow.run()
+    return fast, slow, seen_fast, seen_slow
+
+
+class TestSeededDifferential:
+    """Seeded lockstep programs through both engines, both queue regimes."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_byte_identical_stream_heap_regime(self, seed):
+        build = _wave_program(200, waves=5, seed=seed)
+        fast, slow, seen_fast, seen_slow = _run_both(build)
+        # Serialize through JSON so the comparison is on bytes, not on
+        # float objects that might compare equal after rounding.
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert seen_fast  # the program actually produced observations
+        assert fast.events_elided > 0
+        assert fast.quiet_regions > 0
+        assert slow.events_elided == 0 == slow.quiet_regions
+        assert fast.now == slow.now
+        assert fast.events_processed == slow.events_processed
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_byte_identical_stream_window_regime(self, seed):
+        # A near-zero calendar threshold forces sweeps, so the waves are
+        # served out of the presorted fast-forward window (the regime the
+        # 10k/100k macros actually run in).
+        build = _wave_program(600, waves=4, seed=seed)
+        fast, slow, seen_fast, seen_slow = _run_both(build, calendar_threshold=64)
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.calendar_sweeps >= 1 <= slow.calendar_sweeps
+        assert fast.events_elided > 0
+        assert fast.quiet_regions > 0
+        assert slow.events_elided == 0
+        assert fast.now == slow.now
+        assert fast.events_processed == slow.events_processed
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_jitter_and_plain_interleaving(self, seed):
+        """Half the workers desynchronized, non-elidable processes landing
+        at the quiet instants: regions must shrink/break, never corrupt."""
+        build = _wave_program(120, waves=6, seed=seed, jitter_frac=0.5, plain_frac=0.25)
+        fast, slow, seen_fast, seen_slow = _run_both(build)
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.events_elided > 0  # the synchronized half still elides
+        assert fast.now == slow.now
+
+    def test_non_elidable_spawns_never_elide(self):
+        """Same lockstep program, but nothing is declared elidable: the
+        engine must not batch-serve anything."""
+        rng_delays = [1.0, 2.0, 3.0]
+
+        def build(eng, seen):
+            def worker(i):
+                for k, d in enumerate(rng_delays):
+                    yield d
+                    seen.append((eng.now, i, k))
+
+            for i in range(50):
+                eng.spawn(worker(i), name=f"w{i}")
+
+        fast, slow, seen_fast, seen_slow = _run_both(build)
+        assert seen_fast == seen_slow
+        assert fast.events_elided == 0 == fast.quiet_regions
+
+
+class TestRegionInvalidation:
+    """Cancels and same-instant re-posts must break the region."""
+
+    def _lockstep(self, n, action_at=None, action=None):
+        """One wave of ``n`` elidable resumes at t=1; the ``action_at``-th
+        resume fires ``action(eng)`` from inside the quiet region."""
+        victims = {}
+
+        def build(eng, seen):
+            def worker(i):
+                yield 1.0
+                seen.append((eng.now, i))
+                if action is not None and i == action_at:
+                    action(eng, seen)
+
+            for i in range(n):
+                eng.spawn(worker(i), name=f"w{i}", elidable=True)
+            # A far-future victim event for the cancel action, keyed per
+            # engine — both engines build from this one callable.
+            victims[id(eng)] = eng.schedule(
+                50.0, lambda: seen.append((eng.now, "victim"))
+            )
+
+        build.victims = victims
+        return build
+
+    def test_single_wave_is_two_regions(self):
+        # Two quiet regions: the t=0 spawn resumes and the t=1 wave.
+        build = self._lockstep(40)
+        fast, slow, seen_fast, seen_slow = _run_both(build)
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.quiet_regions == 2
+        assert fast.events_elided == 80
+
+    def test_mid_region_cancel_breaks_region(self):
+        """A cancel fired from inside the region turns the tombstone set
+        truthy; the drain must fall back to event-by-event service (the
+        boundary scan) and still match the oracle byte for byte."""
+
+        def cancel(eng, seen):
+            cancel.build.victims[id(eng)].cancel()
+
+        build = self._lockstep(40, action_at=10, action=cancel)
+        cancel.build = build
+        fast, slow, seen_fast, seen_slow = _run_both(build)
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        # The t=1 wave fragmented: more regions, fewer elided in total
+        # than the unbroken run above.
+        assert fast.quiet_regions > 2
+        assert fast.events_elided < 80
+        assert not any(obs[1] == "victim" for obs in seen_fast)
+
+    def test_mid_region_same_instant_repost_is_exact(self):
+        """A callback scheduling new work at the *current* instant from
+        inside the region: the new event carries a higher seq, so it must
+        run after the remaining same-instant elidable resumes — in both
+        engines, byte-identically."""
+
+        def repost(eng, seen):
+            eng.schedule(0.0, lambda: seen.append((eng.now, "reposted")))
+
+        build = self._lockstep(40, action_at=10, action=repost)
+        fast, slow, seen_fast, seen_slow = _run_both(build)
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        # The re-post ran at the quiet instant, after every worker.
+        tail = seen_fast[-2]
+        assert tail[1] == "reposted" and tail[0] == 1.0
+
+    def test_mid_region_repost_in_window_regime_falls_back(self):
+        """Window regime: a same-instant re-post lands in the ingest heap
+        and must conservatively break the batch run (window seqs predate
+        heap seqs, but the drain cannot assume that mid-region)."""
+
+        def build(eng, seen):
+            def worker(i):
+                yield 1.0
+                seen.append((eng.now, i))
+                if i == 100:
+                    eng.schedule(0.0, lambda: seen.append((eng.now, "re")))
+
+            for i in range(400):
+                eng.spawn(worker(i), name=f"w{i}", elidable=True)
+            # Padding events beyond the wave so the sweep has a span.
+            for i in range(200):
+                eng.call_at(5.0 + 0.01 * i, seen.append, ("pad", i))
+
+        fast, slow, seen_fast, seen_slow = _run_both(build, calendar_threshold=32)
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.calendar_sweeps >= 1
+        assert ("re" in {obs[1] for obs in seen_fast if len(obs) == 2})
+
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        action_at=st.integers(min_value=0, max_value=23),
+        action_name=st.sampled_from(["none", "cancel", "repost"]),
+        threshold=st.sampled_from([None, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_mid_region_actions_preserve_stream(
+        self, n, action_at, action_name, threshold
+    ):
+        """Any mid-region cancel or same-instant re-post, at any position,
+        in either queue regime: the elided stream equals the oracle."""
+        action_at = action_at % n
+
+        def cancel(eng, seen):
+            cancel.build.victims[id(eng)].cancel()
+
+        def repost(eng, seen):
+            eng.schedule(0.0, lambda: seen.append((eng.now, "re")))
+
+        action = {"none": None, "cancel": cancel, "repost": repost}[action_name]
+        build = self._lockstep(n, action_at=action_at, action=action)
+        cancel.build = build
+        kw = {} if threshold is None else {"calendar_threshold": threshold}
+        fast, slow, seen_fast, seen_slow = _run_both(build, **kw)
+        assert json.dumps(seen_fast) == json.dumps(seen_slow)
+        assert fast.now == slow.now
+        assert fast.events_processed == slow.events_processed
+        assert fast.pending_events == 0 == slow.pending_events
+        if action_name == "none":
+            if threshold is None:
+                assert fast.events_elided == 2 * n  # the t=0 and t=1 waves
+            else:
+                # Post-sweep, a wave re-ingested through the heap-vs-window
+                # merge is served singly (conservatively, no elision), so
+                # only the windowed wave is guaranteed to batch.
+                assert fast.events_elided >= n
+        assert slow.events_elided == 0
+
+
+def _run_elide(cfg_kwargs, elide, **extra):
+    """One full run with a delivery trace and protocol instant stream."""
+    obs = Observability(MetricsRegistry("elide" if elide else "oracle"))
+    cfg = SimConfig(engine_elide=elide, obs=obs, **extra, **cfg_kwargs)
+    runner = FluentPSSimRunner(cfg)
+    trace = []
+    runner.net.on_delivery(
+        lambda m: trace.append(
+            (m.msg_id, m.src, m.dst, m.tag, m.size_bytes, m.send_time, m.deliver_time)
+        )
+    )
+    result = runner.run()
+    # Server uids come from a process-global counter, so two consecutive
+    # runs never share raw values; remap to dense first-seen ids (the
+    # identity structure is what the protocol stream cares about).
+    uid_map = {}
+    instants = []
+    for e in obs.instants:
+        args = dict(e.args)
+        if "uid" in args:
+            args["uid"] = uid_map.setdefault(args["uid"], len(uid_map))
+        instants.append((e.name, e.t, e.actor, args))
+    return trace, instants, result, runner
+
+
+class TestRunnerDifferential:
+    """Entire co-simulated runs: elide default vs ``engine_elide=False``."""
+
+    # Explicit Observability below; the ambient conftest bundle would
+    # double-report the same stream.
+    pytestmark = pytest.mark.no_sanitize
+
+    @pytest.mark.parametrize("cfg_kwargs", _preset_configs())
+    def test_run_traces_identical(self, cfg_kwargs):
+        e_trace, e_instants, e_result, e_runner = _run_elide(cfg_kwargs, True)
+        o_trace, o_instants, o_result, o_runner = _run_elide(cfg_kwargs, False)
+        assert json.dumps(e_trace) == json.dumps(o_trace)
+        assert e_trace  # the run actually produced traffic
+        # The S001..S016 protocol event stream is byte-identical too.
+        assert json.dumps(e_instants, default=str) == json.dumps(
+            o_instants, default=str
+        )
+        assert e_instants
+        assert e_result.duration == o_result.duration
+        assert e_result.messages_on_wire == o_result.messages_on_wire
+        assert e_result.bytes_on_wire == o_result.bytes_on_wire
+        assert e_runner.engine.events_processed == o_runner.engine.events_processed
+        assert o_runner.engine.events_elided == 0 == o_runner.engine.quiet_regions
+
+    def test_homogeneous_workers_actually_elide(self):
+        """Deterministic compute at 8 workers: every wave of compute
+        completions is one quiet region, so the counters must move."""
+        kwargs = dict(
+            cluster=cpu_cluster(8, n_servers=2),
+            max_iter=4,
+            sync=ssp(3),
+            workload=alexnet_cifar_workload(),
+            compute_model=DeterministicCompute(),
+            seed=9,
+        )
+        _, _, _, e_runner = _run_elide(kwargs, True)
+        assert e_runner.engine.elide_enabled is True
+        assert e_runner.engine.events_elided > 0
+        assert e_runner.engine.quiet_regions > 0
+
+    def test_training_run_params_identical(self):
+        """A real (non-timing-only) soft-barrier run: final parameters
+        must be bit-equal.  The task is built fresh per run — training
+        mutates it in place."""
+
+        def kwargs():
+            return dict(
+                cluster=cpu_cluster(3, n_servers=2),
+                max_iter=8,
+                sync=ssp(2),
+                task=blobs_task(3, n_train=120, n_test=60),
+                execution=ExecutionMode.SOFT_BARRIER,
+                compute_model=LogNormalCompute(0.2),
+                seed=11,
+            )
+
+        _, _, e_result, _ = _run_elide(kwargs(), True)
+        _, _, o_result, _ = _run_elide(kwargs(), False)
+        assert e_result.final_params is not None
+        assert np.array_equal(e_result.final_params, o_result.final_params)
+        assert e_result.duration == o_result.duration
+
+    def test_oracle_flag_reported(self):
+        eng = Engine(elide=False)
+        assert eng.elide_enabled is False
+        eng2 = Engine()
+        assert eng2.elide_enabled is True

@@ -184,11 +184,28 @@ class TestCounters:
             "engine_events_skipped",
             "engine_windows_collapsed",
             "engine_calendar_sweeps",
+            "engine_events_elided",
+            "engine_quiet_regions",
+            "net_fused_deliveries",
+            "ps_dispatch_inline",
+            "ps_dispatch_drained",
         ):
             assert reg.gauge(name).value() >= 0.0
         # finalize() lands the post-drain totals in the last sample.
         skipped = reg.gauge("engine_events_skipped").value()
         assert skipped == runner.engine.events_skipped > 0
+        assert (
+            reg.gauge("engine_events_elided").value()
+            == runner.engine.events_elided
+        )
+        assert (
+            reg.gauge("engine_pending_event_hwm").value()
+            == runner.engine.pending_high_water
+            > 0
+        )
+        assert (
+            reg.gauge("ps_dispatch_inline").value() == runner.server_msgs_inline
+        )
 
 
 class TestMesoscaleSanitized:

@@ -109,7 +109,13 @@ class TestBusyWindowDrain:
         )
 
     def test_drain_path_matches_proc(self):
-        d_trace, d_result, d_runner = _run_dispatch(self._kwargs(), "direct")
+        # The event drain is the sequential oracle here: lane mode issues
+        # replies from cascaded handle times (identical timestamps, but a
+        # different msg-id allocation order once requests park), and its
+        # own differential suite lives in tests/test_server_drain.py.
+        d_trace, d_result, d_runner = _run_dispatch(
+            self._kwargs(), "direct", server_drain="event"
+        )
         p_trace, p_result, _ = _run_dispatch(self._kwargs(), "proc")
         assert d_runner.server_msgs_drained > 0  # the drain path actually ran
         assert json.dumps(d_trace) == json.dumps(p_trace)
@@ -120,7 +126,7 @@ class TestBusyWindowDrain:
         with the calendar window (a near-zero threshold forces sweeps
         even at 6-worker scale)."""
         d_trace, d_result, d_runner = _run_dispatch(
-            self._kwargs(), "direct", engine_calendar_threshold=4
+            self._kwargs(), "direct", server_drain="event", engine_calendar_threshold=4
         )
         p_trace, p_result, _ = _run_dispatch(self._kwargs(), "proc", engine_calendar=False)
         assert d_runner.engine.calendar_sweeps > 0

@@ -172,3 +172,42 @@ class TestOverheads:
         costly = run_fluentps(timing_config(
             execution=ExecutionMode.SOFT_BARRIER, dpr_overhead_s=0.05, **common))
         assert costly.duration > cheap.duration
+
+
+class TestWorkerSeriesCap:
+    """Per-worker sketch series collapse to one aggregate at mesoscale."""
+
+    def _run(self, n, threshold):
+        from repro.obs import MetricsRegistry, Observability
+
+        obs = Observability(MetricsRegistry("cap"))
+        run_fluentps(
+            timing_config(
+                n=n, iters=3, obs=obs, worker_series_threshold=threshold
+            )
+        )
+        return obs.registry.sketch(
+            "pull_latency_seconds",
+            "sync-wait seconds per sPull round (mergeable sketch)",
+        )
+
+    def test_below_threshold_keeps_per_worker_series(self):
+        sketch = self._run(n=6, threshold=6)
+        assert len(sketch.label_sets()) == 6
+        for w in range(6):
+            assert sketch.count(worker=w) == 3
+
+    def test_above_threshold_registry_stays_bounded(self):
+        sketch = self._run(n=6, threshold=4)
+        # One aggregate series regardless of worker count: the registry
+        # no longer grows with N.
+        assert len(sketch.label_sets()) == 1
+        assert sketch.count(worker="all") == 6 * 3
+        # The aggregate is exactly the merge of what per-worker series
+        # would have held (same total population).
+        merged = sketch.merged()
+        assert merged is not None and merged.count == 6 * 3
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="worker_series_threshold"):
+            timing_config(worker_series_threshold=0)
