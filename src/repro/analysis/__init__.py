@@ -32,6 +32,7 @@ from repro.analysis.events import (
     events_from_run,
     events_from_trace_doc,
     events_from_trace_file,
+    iter_events_from_instants,
 )
 from repro.analysis.explore import (
     MUTATIONS,
@@ -78,6 +79,7 @@ __all__ = [
     "events_from_trace_doc",
     "events_from_trace_file",
     "explore",
+    "iter_events_from_instants",
     "lint_file",
     "lint_paths",
     "replay_trace",

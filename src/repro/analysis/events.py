@@ -18,7 +18,7 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 #: Instant names that participate in the protocol replay.
 PROTOCOL_EVENT_NAMES = frozenset(
@@ -88,22 +88,31 @@ class ProtocolEvent:
         return " ".join(bits)
 
 
-def events_from_instants(instants: Iterable) -> List[ProtocolEvent]:
-    """Normalize a live instant log (``repro.obs`` Instants)."""
-    out: List[ProtocolEvent] = []
+def iter_events_from_instants(instants: Iterable) -> Iterator[ProtocolEvent]:
+    """Stream-normalize a live instant log (``repro.obs`` Instants).
+
+    Lazy counterpart of :func:`events_from_instants`: one ProtocolEvent
+    at a time, so a disk-spilled :class:`~repro.obs.export.InstantLog`
+    (100k-scale runs) is replayed in chunks without ever materializing
+    the multi-million-event stream.
+    """
+    index = 0
     for inst in instants:
         if inst.name not in PROTOCOL_EVENT_NAMES:
             continue
-        out.append(
-            ProtocolEvent(
-                index=len(out),
-                name=inst.name,
-                t=float(inst.t),
-                actor=inst.actor,
-                args=dict(inst.args),
-            )
+        yield ProtocolEvent(
+            index=index,
+            name=inst.name,
+            t=float(inst.t),
+            actor=inst.actor,
+            args=dict(inst.args),
         )
-    return out
+        index += 1
+
+
+def events_from_instants(instants: Iterable) -> List[ProtocolEvent]:
+    """Normalize a live instant log (``repro.obs`` Instants)."""
+    return list(iter_events_from_instants(instants))
 
 
 def events_from_run(capture) -> List[ProtocolEvent]:

@@ -36,7 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
-from repro.analysis.events import ProtocolEvent, events_from_instants, events_from_run
+from repro.analysis.events import ProtocolEvent, iter_events_from_instants
 
 
 @dataclass(frozen=True)
@@ -526,9 +526,13 @@ def sanitize_events(
 
 def sanitize_run(capture, raise_on_violation: bool = False) -> SanitizerReport:
     """Sanitize one :class:`~repro.obs.RunCapture` (protocol events plus
-    the run's trace spans and causal DAG, when captured)."""
+    the run's trace spans and causal DAG, when captured).
+
+    The instant stream is replayed lazily, so a disk-spilled instant log
+    from a 100k-scale run is checked in chunks at O(spill-cap) memory."""
     report = sanitize_events(
-        events_from_run(capture), complete=getattr(capture, "complete", False)
+        iter_events_from_instants(capture.instants),
+        complete=getattr(capture, "complete", False),
     )
     if getattr(capture, "trace", None) is not None:
         from repro.analysis.spans import check_trace_spans
@@ -553,7 +557,9 @@ def sanitize_observability(obs, raise_on_violation: bool = False) -> SanitizerRe
         report.merge(sanitize_run(cap))
     default_log = getattr(obs, "default_instants", None)
     if default_log is not None and len(default_log):
-        report.merge(sanitize_events(events_from_instants(default_log), complete=False))
+        report.merge(
+            sanitize_events(iter_events_from_instants(default_log), complete=False)
+        )
     if raise_on_violation:
         report.raise_if_violations()
     return report

@@ -447,6 +447,8 @@ def _bench_macro_run(name: str, workers: int, iters: int, repeats: int) -> Bench
                 "quiet_regions": runner.engine.quiet_regions,
                 "fused_deliveries": runner.net.fused_deliveries,
                 "pending_event_hwm": runner.engine.pending_high_water,
+                "rounds_collapsed": runner.engine.rounds_collapsed,
+                "round_events_saved": runner.engine.round_events_saved,
             }
     return BenchResult(
         name,
@@ -457,6 +459,14 @@ def _bench_macro_run(name: str, workers: int, iters: int, repeats: int) -> Bench
             "iterations": iters,
             "events": events,
             "events_per_sec": events / max(wall, 1e-9),
+            # Scale-independent throughput proxy that stays meaningful
+            # when the closed-form round fast-forward leaves few (or
+            # zero) events to process: the events the run *represents*
+            # per wall second, processed plus analytically saved.
+            "effective_events_per_sec": (
+                events + counters.get("round_events_saved", 0.0)
+            )
+            / max(wall, 1e-9),
             "sim_duration_s": result.duration,
             "messages_on_wire": result.messages_on_wire,
             "peak_rss_mb": _peak_rss_mb(),
@@ -503,6 +513,64 @@ def bench_macro_100k(scale: PerfScale) -> BenchResult:
         scale.macro100k_workers,
         scale.macro100k_iters,
         scale.macro100k_repeats,
+    )
+
+
+def bench_macro_100k_sanitized(scale: PerfScale) -> BenchResult:
+    """The 100k-worker run with observability + protocol sanitation.
+
+    Exercises the streaming instant log end to end: the run emits its
+    multi-million-event protocol stream into a disk-spilling
+    :class:`~repro.obs.export.InstantLog` (``causal=False`` keeps the
+    closed-form round fast-forward eligible, ``span_capture=False``
+    drops the per-span list a sanitize run never reads), then the
+    vector-clock sanitizer replays the spilled stream from disk in
+    chunks.  The quantity under test is peak RSS — the full-scale
+    acceptance bar is < 1 GiB (:data:`SANITIZED_RSS_MAX_MB`) where the
+    pre-streaming implementation held 3.5M event dicts in RAM — so a
+    single repeat suffices and the wall time stays ungated.
+    """
+    from repro.analysis.sanitizer import sanitize_observability
+    from repro.ml.models_zoo import alexnet_cifar_workload
+    from repro.sim.runner import FluentPSSimRunner, SimConfig
+
+    workers = scale.macro100k_workers
+    obs = Observability(MetricsRegistry("perf-sanitized"), causal=False)
+    cfg = SimConfig(
+        cluster=cpu_cluster(workers, n_servers=8),
+        max_iter=scale.macro100k_iters,
+        sync=ssp(3),
+        workload=alexnet_cifar_workload(),
+        compute_model=cpu_cluster_compute(workers),
+        seed=3,
+        obs=obs,
+        span_capture=False,
+    )
+    runner = FluentPSSimRunner(cfg)
+    t0 = time.perf_counter()
+    runner.run()
+    run_wall = time.perf_counter() - t0
+    cap = obs.last_run
+    t0 = time.perf_counter()
+    report = sanitize_observability(obs)
+    sanitize_wall = time.perf_counter() - t0
+    assert report.ok, "sanitized macro run must be violation-free"
+    return BenchResult(
+        "macro_100k_sanitized_wall_s",
+        run_wall + sanitize_wall,
+        "s",
+        {
+            "workers": workers,
+            "iterations": scale.macro100k_iters,
+            "run_wall_s": run_wall,
+            "sanitize_wall_s": sanitize_wall,
+            "events_checked": report.n_events,
+            "instants": len(cap.instants),
+            "instants_spilled": cap.instants.spilled_events,
+            "rounds_collapsed": runner.engine.rounds_collapsed,
+            "round_events_saved": runner.engine.round_events_saved,
+            "peak_rss_mb": _peak_rss_mb(),
+        },
     )
 
 
@@ -570,6 +638,7 @@ def run_suite(scale: PerfScale) -> Dict[str, object]:
     results.append(bench_macro(scale))
     results.append(bench_macro_10k(scale))
     results.append(bench_macro_100k(scale))
+    results.append(bench_macro_100k_sanitized(scale))
     results.append(bench_sweep(scale))
     return {
         "schema": SCHEMA,
@@ -616,11 +685,31 @@ CROSS_SCALE_BENCHMARKS = {
     "macro_100k_wall_s",
 }
 
+#: (benchmark, detail key) pairs gated like wall times (lower is
+#: better, +30% ceiling): memory regressions fail CI, not just
+#: slowdowns.  Details are only comparable at equal scales — the gate is
+#: noted as skipped (never silently dropped) across scales, and likewise
+#: when a baseline detail is absent or zero (e.g. ``pending_event_hwm``
+#: after a fully collapsed run schedules no per-worker events at all).
+GATED_DETAILS: List[Tuple[str, str]] = [
+    ("macro_100k_wall_s", "peak_rss_mb"),
+    ("macro_100k_wall_s", "pending_event_hwm"),
+    ("macro_100k_sanitized_wall_s", "peak_rss_mb"),
+]
+
 #: Absolute ceiling for ``null_telemetry_overhead_pct``.  A relative
 #: gate is meaningless for a number that should sit near zero (a 30%
 #: regression of 0.1% is still nothing), so the disabled-path contract
 #: is enforced as an absolute bound instead.
 NULL_TELEMETRY_MAX_PCT = 5.0
+
+#: Absolute peak-RSS ceiling (MiB) for the full-scale sanitized 100k
+#: macro run: the streaming instant log's contract is that a 100k-worker
+#: observability + sanitize pass fits in under 1 GiB, where holding the
+#: ~3.5M-event protocol stream in memory cost ~1.4 GiB.  Quick-scale
+#: documents are not held to it (their run is 20x smaller, the bound
+#: would be vacuous).
+SANITIZED_RSS_MAX_MB = 1024.0
 
 
 def check_regression(
@@ -636,7 +725,10 @@ def check_regression(
     ``(1 - max_regress) * baseline``, or a wall time that grew past
     ``(1 + max_regress) * baseline``.  The null-telemetry overhead is
     additionally held to the absolute :data:`NULL_TELEMETRY_MAX_PCT`
-    ceiling regardless of the baseline.
+    ceiling regardless of the baseline, the full-scale sanitized macro
+    run to the absolute :data:`SANITIZED_RSS_MAX_MB` memory ceiling, and
+    the :data:`GATED_DETAILS` memory/backlog details to the same +30%
+    rule as the wall times (same-scale documents only).
 
     Wall-time benchmarks are only directly comparable at equal scales
     (CI runs ``--quick``, the committed record is full scale), so when
@@ -656,21 +748,60 @@ def check_regression(
             f"null_telemetry_overhead_pct: {cur_null:.2f}% exceeds the "
             f"absolute {NULL_TELEMETRY_MAX_PCT:.0f}% disabled-path ceiling"
         )
+    cur_rss = _detail_value(current, "macro_100k_sanitized_wall_s", "peak_rss_mb")
+    if (
+        current.get("scale") == "full"
+        and cur_rss is not None
+        and cur_rss > SANITIZED_RSS_MAX_MB
+    ):
+        failures.append(
+            f"macro_100k_sanitized_wall_s: peak_rss_mb {cur_rss:,.0f} exceeds "
+            f"the absolute {SANITIZED_RSS_MAX_MB:,.0f} MiB streaming-log ceiling"
+        )
+    for name, key in GATED_DETAILS:
+        if not same_scale:
+            notes.append(
+                f"{name}.{key}: detail gate skipped — documents are at "
+                f"different scales"
+            )
+            continue
+        base = _detail_value(baseline, name, key)
+        cur = _detail_value(current, name, key)
+        if base is None or base <= 0 or cur is None:
+            missing = "baseline" if base is None or base <= 0 else "current"
+            notes.append(
+                f"{name}.{key}: detail gate skipped — no usable value in "
+                f"the {missing} document"
+            )
+            continue
+        growth = (cur - base) / base
+        if growth > max_regress:
+            failures.append(
+                f"{name}.{key}: {cur:,.4g} is {growth:.0%} above baseline "
+                f"{base:,.4g} (limit {max_regress:.0%})"
+            )
     for name, higher_is_better in GATED_BENCHMARKS:
         if name in CROSS_SCALE_BENCHMARKS and not same_scale:
-            base = _detail_value(baseline, name, "events_per_sec")
-            cur = _detail_value(current, name, "events_per_sec")
+            # Prefer the collapse-aware throughput proxy; fall back to
+            # raw events_per_sec for baselines that predate it.
+            key = "effective_events_per_sec"
+            base = _detail_value(baseline, name, key)
+            cur = _detail_value(current, name, key)
+            if base is None or cur is None:
+                key = "events_per_sec"
+                base = _detail_value(baseline, name, key)
+                cur = _detail_value(current, name, key)
             if base is None or cur is None or base <= 0:
                 missing = "baseline" if base is None or base <= 0 else "current"
                 notes.append(
-                    f"{name}: cross-scale gate skipped — no events_per_sec "
+                    f"{name}: cross-scale gate skipped — no {key} "
                     f"detail in the {missing} document"
                 )
                 continue
             drop = (base - cur) / base
             if drop > max_regress:
                 failures.append(
-                    f"{name} (events_per_sec, cross-scale): {cur:,.0f} is "
+                    f"{name} ({key}, cross-scale): {cur:,.0f} is "
                     f"{drop:.0%} below baseline {base:,.0f} "
                     f"(limit {max_regress:.0%})"
                 )

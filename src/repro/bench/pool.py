@@ -242,13 +242,20 @@ def _sanitized_call(
     through the vector-clock checker before the result is accepted.
     ``obs`` lets the caller share the bundle (e.g. to dump per-arm
     artifacts afterwards).  Returns ``(result, n_events_checked)``.
+
+    The default bundle captures instants without the causal span DAG:
+    protocol replay only needs the instant stream, skipping the DAG
+    keeps mesoscale arms (100k-worker grid cells) out of causal-span
+    RSS, and — unlike a causal-tracing bundle — leaves the arm eligible
+    for the runner's closed-form round fast-forward.  Callers that want
+    the DAG (e.g. ``obs_dir`` artifact dumps) pass their own ``obs``.
     """
     from repro.analysis.events import events_from_instants
     from repro.analysis.sanitizer import SanitizerReport, sanitize_events, sanitize_run
     from repro.obs import MetricsRegistry, Observability, observed
 
     if obs is None:
-        obs = Observability(MetricsRegistry("pool-sanitizer"))
+        obs = Observability(MetricsRegistry("pool-sanitizer"), causal=False)
     with observed(obs):
         result = fn(**kwargs)
     report = SanitizerReport(n_streams=0)

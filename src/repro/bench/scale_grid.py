@@ -111,6 +111,8 @@ def _grid_arm(preset: str, n: int, sync_name: str, seed: int) -> ExperimentResul
         int(eng.events_skipped),
         int(eng.events_elided),
         int(eng.quiet_regions),
+        int(eng.rounds_collapsed),
+        int(eng.round_events_saved),
         int(eng.pending_high_water),
         round(_peak_rss_mb(), 1),
         int(res.metrics.dprs),
@@ -127,6 +129,8 @@ def _grid_arm(preset: str, n: int, sync_name: str, seed: int) -> ExperimentResul
         calendar_sweeps=float(eng.calendar_sweeps),
         events_elided=float(eng.events_elided),
         quiet_regions=float(eng.quiet_regions),
+        rounds_collapsed=float(eng.rounds_collapsed),
+        round_events_saved=float(eng.round_events_saved),
         fused_deliveries=float(runner.net.fused_deliveries),
         server_msgs_inline=float(runner.server_msgs_inline),
         server_msgs_drained=float(runner.server_msgs_drained),
@@ -158,6 +162,8 @@ def scale_grid(
             "events_skipped",
             "events_elided",
             "quiet_regions",
+            "rounds_collapsed",
+            "round_events_saved",
             "pending_hwm",
             "peak_rss_mb",
             "dprs",

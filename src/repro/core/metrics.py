@@ -61,6 +61,24 @@ class SyncMetrics:
         else:
             self.probabilistic_pauses += 1
 
+    def record_quiet_round(self, n_workers: int, early_pulls: int) -> None:
+        """Bulk-record one analytically committed quiet round: ``n_workers``
+        pushes, ``n_workers`` immediate pulls, one frontier advance, and
+        the staleness split the serve order implies (``early_pulls`` were
+        answered before the frontier advanced, hence one missing
+        iteration; the rest after, hence zero).  Exactly equivalent to the
+        per-request recording sequence of the event path — histogram keys
+        are only created for non-zero buckets, and ``dpr_wait_total``
+        gains nothing because every quiet-round pull waited 0.0 s."""
+        self.pushes += n_workers
+        self.pulls += n_workers
+        self.immediate_pulls += n_workers
+        self.frontier_advances += 1
+        if early_pulls:
+            self.staleness_hist[1] += early_pulls
+        if n_workers - early_pulls:
+            self.staleness_hist[0] += n_workers - early_pulls
+
     # -- derived ----------------------------------------------------------
 
     @property

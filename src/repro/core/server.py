@@ -719,6 +719,50 @@ class ShardServer:
             self.snapshot_copies_avoided += 1
         return snap
 
+    # -- Closed-form quiet-round commit (round collapse fast path) ----------
+
+    def handle_quiet_round(self, progress: int, early_pulls: int) -> None:
+        """Commit one analytically fast-forwarded protocol round.
+
+        Equivalent, state-for-state, to every worker pushing ``progress``
+        and then pulling ``progress`` in some serve order where all pulls
+        are immediate and the frontier advances exactly once — the *quiet
+        round* the runner's collapse analytics certify before calling
+        this.  ``early_pulls`` is how many pulls that order served before
+        this shard's N-th push (those see one missing iteration, the rest
+        zero).  Only legal for timing-only shards (no parameters, no
+        gradients) with no buffered DPRs and observability disabled; the
+        obs-on replay goes through the real ``handle_push``/``handle_pull``
+        instead so the instant stream stays byte-identical.
+        """
+        if self._params is not None or self.callbacks or self._obs_on:
+            raise ProtocolError("quiet-round commit requires a timing-only, "
+                                "DPR-free, unobserved shard")
+        n = self.n_workers
+        for w in range(n):
+            if self.worker_progress[w] != progress - 1:
+                raise ProtocolError(
+                    f"worker {w} at {self.worker_progress[w]} cannot batch-push "
+                    f"{progress} (pushes must be sequential)"
+                )
+        self.worker_progress[:] = [progress] * n
+        self.last_pull_progress[:] = [progress] * n
+        self._fastest = progress
+        self._slowest = progress
+        self._n_at_slowest = n
+        self.version += n
+        self._snap_cache = None
+        self.count[progress] += n
+        self.v_train = progress + 1
+        # The event path probes the pull condition for a coin attribute on
+        # its first evaluation; keep that one-off cache warm so a later
+        # de-vectorized round behaves identically.
+        con = self.pull_con
+        if con is not self._coin_con:
+            self._coin_con = con
+            self._coin_on = hasattr(con, "coin_flips")
+        self.metrics.record_quiet_round(n, early_pulls)
+
     # -- Checkpoint restore (the only non-push/pull state transition) -------
 
     def handle_restore(

@@ -87,11 +87,17 @@ class RunCapture:
     safety violations only.
     """
 
-    def __init__(self, label: str, trace=None) -> None:
+    def __init__(self, label: str, trace=None, causal: bool = True) -> None:
         self.label = label
         self.trace = trace
         self.instants = InstantLog()
-        self.causal = CausalTrace()
+        #: ``causal=False`` captures instants/spans without the causal
+        #: span DAG (None here): cheaper, and it keeps runs eligible for
+        #: the runner's closed-form round fast-forward, which replays
+        #: protocol instants exactly but cannot reproduce per-message
+        #: causal span ids.  Consumers treat a missing DAG as "not
+        #: captured" (export/blame sections are skipped).
+        self.causal = CausalTrace() if causal else None
         self.complete = False
 
 
@@ -100,14 +106,20 @@ class Observability:
 
     enabled = True
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None):
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, causal: bool = True
+    ):
         self.registry = registry if registry is not None else MetricsRegistry("run")
         self.runs: List[RunCapture] = []
         self._default_instants = InstantLog()
+        #: Whether run captures build the causal span DAG (see
+        #: :class:`RunCapture`); ``causal=False`` trades blame/flow export
+        #: for lower overhead and round-collapse eligibility.
+        self.capture_causal = causal
 
     def begin_run(self, label: str, trace=None) -> RunCapture:
         """Start capturing a run; subsequent instants land in its log."""
-        cap = RunCapture(label, trace)
+        cap = RunCapture(label, trace, causal=self.capture_causal)
         self.runs.append(cap)
         return cap
 

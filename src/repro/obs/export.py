@@ -21,6 +21,8 @@ microseconds, hence ``_US``.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
@@ -28,6 +30,12 @@ from typing import Dict, Iterable, List, Optional, Union
 from repro.obs.causal import CAUSAL_EXPORT_KEY, causal_to_dicts
 
 _US = 1e6  # seconds -> trace-format microseconds
+
+#: Environment override for :class:`InstantLog`'s in-memory cap.
+INSTANT_SPILL_CAP_ENV = "REPRO_INSTANT_SPILL_CAP"
+DEFAULT_INSTANT_SPILL_CAP = 200_000
+
+_SPILL_READ_CHUNK = 1 << 20  # bytes per disk read while replaying
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,22 +49,83 @@ class Instant:
 
 
 class InstantLog:
-    """Accumulates instant events for one run."""
+    """Accumulates instant events for one run, spilling to disk at scale.
 
-    def __init__(self) -> None:
+    Up to ``spill_cap`` instants are buffered in memory (the common
+    case: every small/medium run).  Past the cap the buffer is appended
+    to an anonymous JSONL temp file and cleared, so a 100k-worker run's
+    multi-million-event protocol stream costs O(cap) resident memory
+    instead of O(events).  Iteration replays the spilled prefix from
+    disk in fixed-size chunks (via ``os.pread``, so nested or repeated
+    iterations never disturb the append position) followed by the
+    in-memory tail — consumers like the protocol sanitizer stream it
+    without ever materializing the full log.
+
+    Instant ``args`` must stay JSON-serializable (they already must be
+    for trace export); non-finite floats round-trip via Python's
+    ``Infinity``/``NaN`` JSON extension.  ``spill_cap`` defaults from
+    ``REPRO_INSTANT_SPILL_CAP`` when unset.
+    """
+
+    def __init__(self, spill_cap: Optional[int] = None) -> None:
+        if spill_cap is None:
+            spill_cap = int(
+                os.environ.get(INSTANT_SPILL_CAP_ENV, DEFAULT_INSTANT_SPILL_CAP)
+            )
+        self.spill_cap = max(1, int(spill_cap))
         self.events: List[Instant] = []
+        self._spill_file = None
+        self._spill_bytes = 0
+        self._n_spilled = 0
 
     def __len__(self) -> int:
-        return len(self.events)
+        return self._n_spilled + len(self.events)
+
+    @property
+    def spilled_events(self) -> int:
+        """How many instants live on disk rather than in memory."""
+        return self._n_spilled
+
+    def _spill(self) -> None:
+        if self._spill_file is None:
+            self._spill_file = tempfile.TemporaryFile(mode="w+b")
+        lines = [
+            json.dumps([e.name, e.t, e.actor, e.args]).encode("utf-8")
+            for e in self.events
+        ]
+        payload = b"\n".join(lines) + b"\n"
+        self._spill_file.write(payload)
+        self._spill_bytes += len(payload)
+        self._n_spilled += len(self.events)
+        self.events.clear()
 
     def __iter__(self):
-        return iter(self.events)
+        if self._spill_file is not None:
+            self._spill_file.flush()
+            fd = self._spill_file.fileno()
+            end = self._spill_bytes
+            offset = 0
+            leftover = b""
+            while offset < end:
+                chunk = os.pread(fd, min(_SPILL_READ_CHUNK, end - offset), offset)
+                if not chunk:
+                    break
+                offset += len(chunk)
+                data = leftover + chunk
+                complete, _, leftover = data.rpartition(b"\n")
+                if complete:
+                    for line in complete.split(b"\n"):
+                        name, t, actor, args = json.loads(line)
+                        yield Instant(name, float(t), actor, args)
+        yield from self.events
 
     def record(self, name: str, t: float, actor: str = "", **args: object) -> None:
         self.events.append(Instant(name, float(t), actor, args))
+        if len(self.events) >= self.spill_cap:
+            self._spill()
 
     def by_name(self, name: str) -> List[Instant]:
-        return [e for e in self.events if e.name == name]
+        return [e for e in self if e.name == name]
 
 
 class NullInstantLog(InstantLog):

@@ -121,6 +121,14 @@ class ServerSnapshotter:
         self._g_pending_hwm = registry.gauge(
             "engine_pending_event_hwm", "pending-event high-water mark"
         )
+        self._g_rounds_collapsed = registry.gauge(
+            "engine_rounds_collapsed",
+            "protocol rounds committed in closed form (no per-message events)",
+        )
+        self._g_round_saved = registry.gauge(
+            "engine_round_events_saved",
+            "events the closed-form round fast-forward never scheduled",
+        )
         self._g_fused = registry.gauge(
             "net_fused_deliveries",
             "deliveries folded into their TX-completion event",
@@ -142,6 +150,8 @@ class ServerSnapshotter:
         self._b_elided = self._g_elided.labels()
         self._b_quiet = self._g_quiet.labels()
         self._b_pending_hwm = self._g_pending_hwm.labels()
+        self._b_rounds_collapsed = self._g_rounds_collapsed.labels()
+        self._b_round_saved = self._g_round_saved.labels()
         self._b_fused = self._g_fused.labels()
         self._b_inline = self._g_inline.labels()
         self._b_drained = self._g_drained.labels()
@@ -186,6 +196,8 @@ class ServerSnapshotter:
             self._b_elided.set(self.engine.events_elided)
             self._b_quiet.set(self.engine.quiet_regions)
             self._b_pending_hwm.set(self.engine.pending_high_water)
+            self._b_rounds_collapsed.set(self.engine.rounds_collapsed)
+            self._b_round_saved.set(self.engine.round_events_saved)
         if self.dispatch is not None:
             self._b_inline.set(self.dispatch.server_msgs_inline)
             self._b_drained.set(self.dispatch.server_msgs_drained)
@@ -221,6 +233,8 @@ class ServerSnapshotter:
                 self._b_elided.set(self.engine.events_elided)
                 self._b_quiet.set(self.engine.quiet_regions)
                 self._b_pending_hwm.set(self.engine.pending_high_water)
+                self._b_rounds_collapsed.set(self.engine.rounds_collapsed)
+                self._b_round_saved.set(self.engine.round_events_saved)
             if self.dispatch is not None:
                 self._b_inline.set(self.dispatch.server_msgs_inline)
                 self._b_drained.set(self.dispatch.server_msgs_drained)

@@ -285,8 +285,15 @@ class Process(Waitable):
             raise SimulationError(f"process {self.name!r} has not finished")
         return self._result
 
-    def _start(self) -> None:
-        self._engine._schedule(self._engine.now, self._step_cb, None)
+    def _start(self, start_at: Optional[float] = None) -> None:
+        eng = self._engine
+        when = eng.now if start_at is None else start_at
+        if when < eng.now:
+            raise SimulationError(
+                f"process {self.name!r} cannot start in the past "
+                f"(start_at={when} < now={eng.now})"
+            )
+        eng._schedule(when, self._step_cb, None)
 
     def _make_step(self) -> Callable[[Any], None]:
         send = self._gen.send
@@ -419,6 +426,9 @@ class Engine:
         "_events_elided",
         "_quiet_regions",
         "_pending_hwm",
+        "_collapse_enabled",
+        "_rounds_collapsed",
+        "_round_events_saved",
     )
 
     def __init__(
@@ -426,6 +436,7 @@ class Engine:
         calendar: Optional[bool] = None,
         calendar_threshold: Optional[int] = None,
         elide: Optional[bool] = None,
+        collapse: Optional[bool] = None,
     ) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Callable[[Any], None], Any]] = []
@@ -470,6 +481,13 @@ class Engine:
         #: Pending-event high-water mark, sampled at queue-maintenance
         #: points (drain entry, sweeps, refills) — not per push.
         self._pending_hwm = 0
+        #: Closed-form round fast-forward (``collapse=False`` keeps the
+        #: event-by-event protocol rounds as the differential oracle).
+        #: The round analytics live in the runner; the engine only
+        #: carries the opt-out flag and the credit counters.
+        self._collapse_enabled = collapse is not False
+        self._rounds_collapsed = 0
+        self._round_events_saved = 0
 
     # -- raw callback scheduling --------------------------------------
 
@@ -666,6 +684,34 @@ class Engine:
             self._pending_hwm = pend
         return self._pending_hwm
 
+    @property
+    def collapse_enabled(self) -> bool:
+        """Whether closed-form round fast-forward may engage."""
+        return self._collapse_enabled
+
+    @property
+    def rounds_collapsed(self) -> int:
+        """Whole protocol rounds advanced in closed form (no events)."""
+        return self._rounds_collapsed
+
+    @property
+    def round_events_saved(self) -> int:
+        """Events the collapsed rounds would have scheduled and served."""
+        return self._round_events_saved
+
+    def credit_collapsed_round(self, events_saved: int) -> None:
+        """Account one analytically committed protocol round.
+
+        ``events_saved`` is the exact event census the oracle would have
+        scheduled and served for the round.  The clock is *not* advanced
+        here: a partial collapse de-vectorizes the first non-quiet round
+        at instants that precede the committed rounds' last event, so the
+        drain must still be allowed to start from the earlier time.  A
+        fully collapsed run (no events left) sets ``now`` to the final
+        instant itself before :meth:`run` returns on the empty queue."""
+        self._rounds_collapsed += 1
+        self._round_events_saved += events_saved
+
     def _pack(self, fn: Callable[..., None], args: Tuple[Any, ...]):
         """Adapt an external ``fn(*args)`` callback to the one-arg protocol."""
         if not args:
@@ -735,8 +781,20 @@ class Engine:
 
     # -- process/waitable API ------------------------------------------
 
-    def spawn(self, gen: ProcessGen, name: str = "", elidable: bool = False) -> Process:
+    def spawn(
+        self,
+        gen: ProcessGen,
+        name: str = "",
+        elidable: bool = False,
+        start_at: Optional[float] = None,
+    ) -> Process:
         """Start a generator as a process; returns a joinable Process.
+
+        ``start_at`` schedules the first resume at an absolute instant at
+        or after ``now`` instead of immediately — the round-collapse
+        runner uses it to re-materialize workers mid-run at their
+        per-worker analytic clocks.  Spawn order still decides seq order
+        at equal instants.
 
         ``elidable=True`` declares that this process's resumes are pure
         compute-phase completions: a same-timestamp run of resumes from
@@ -753,7 +811,7 @@ class Engine:
         proc = Process(self, gen, name=name)
         if elidable:
             self._elidable.add(proc._step_cb)
-        proc._start()
+        proc._start(start_at)
         return proc
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:

@@ -27,6 +27,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.conditions import DSPSPull, PSSPPull, SSPPull
 from repro.core.driver import StepContext
 from repro.core.filters import NoFilter, PushFilter
 from repro.core.keyspace import ElasticSlicer, ModelSpec, Slicer
@@ -44,7 +45,7 @@ from repro.ml.training import TrainingTask
 from repro.obs import Observability, current_observability
 from repro.obs.snapshot import ServerSnapshotter
 from repro.sim.cluster import ClusterSpec
-from repro.sim.engine import Engine, Timeout
+from repro.sim.engine import Engine, SimulationError, Timeout
 from repro.sim.network import Message, Network
 from repro.sim.stragglers import ComputeModel, LogNormalCompute
 from repro.sim.trace import SpanKind, TraceRecorder
@@ -70,6 +71,15 @@ class SimConfig:
     seed: int = 0
     eval_every: int = 0
     keep_spans: bool = False
+    #: Span-list capture override.  ``None`` → legacy behavior: spans are
+    #: kept when ``keep_spans`` asks for them or observability is enabled
+    #: (trace export needs the list).  ``False`` → never keep the span
+    #: list even under observability: span *totals* (comm/compute time)
+    #: still accumulate exactly, but per-span objects are dropped — at
+    #: 100k workers the list alone costs hundreds of MB, and a
+    #: sanitize-focused run only needs the protocol instant stream.
+    #: ``True`` → always keep (same as ``keep_spans=True``).
+    span_capture: Optional[bool] = None
     header_bytes: int = 256
     request_bytes: int = 128
     #: Server processing time per handled request (queue pop, dispatch).
@@ -107,6 +117,21 @@ class SimConfig:
     #: docs/PERFORMANCE.md, "Protocol-quiet elision and parallel shard
     #: drains".
     engine_elide: Optional[bool] = None
+    #: Closed-form round fast-forward: ``None``/``True`` → when every
+    #: shard's sync condition is provably quiet for a whole protocol
+    #: round (SSP/PSSP with s > 0 and an all-pushed quorum, timing-only
+    #: run, analytic drain lanes, no causal trace / delay hook / choice
+    #: hook), the runner advances the entire round analytically — one
+    #: vectorized pass over a cohort state table instead of O(workers)
+    #: resume/deliver events per iteration.  The first round whose
+    #: straggler draw breaks inter-round isolation de-vectorizes back to
+    #: the event path with no drift.  ``False`` keeps event-by-event
+    #: protocol rounds as the differential oracle, exactly like
+    #: ``engine_calendar=False`` / ``engine_elide=False``.  Delivery
+    #: traces, protocol instant streams, final params, and worker finish
+    #: times are bit-identical either way.  See docs/PERFORMANCE.md,
+    #: "Closed-form round fast-forward and the cohort state table".
+    round_collapse: Optional[bool] = None
     #: Server request dispatch.  ``"direct"`` (default) handles each
     #: delivered request inside the delivery event via the endpoint sink:
     #: no inbox round-trip, no per-request resume event — a busy server
@@ -248,6 +273,79 @@ class _PendingPull:
         self.last_cause = -1
 
 
+def _discard_reply(reply: PullReply) -> None:
+    """Pull responder for analytically committed rounds: the wire reply
+    is synthesized in closed form, so the server-side callback has
+    nothing left to do (the real responder only sends the message)."""
+
+
+def _seq_cascade(
+    arrivals: np.ndarray, holds: np.ndarray, cursor: float
+) -> Tuple[np.ndarray, float]:
+    """Exact capacity-1 FIFO-lane cascade over a sorted arrival stream.
+
+    Computes ``end_i = max(cursor_i, a_i) + h_i`` with
+    ``cursor_{i+1} = end_i`` — the same float sequence the event path
+    produces one message at a time — using one seeded
+    ``np.add.accumulate`` per *saturated segment* (a maximal stretch
+    where each arrival lands before the previous transfer ends).  The
+    accumulate is strictly sequential, and the running cursor is seeded
+    *inside* the accumulated array, so every end time is bit-identical
+    to the scalar recurrence.  Returns ``(ends, final_cursor)``.
+
+    Idle-dominated stretches (every arrival after the previous end,
+    e.g. a serve lane whose per-request cost is far below the arrival
+    spacing) commit as whole runs of ``a_i + h_i`` between precomputed
+    saturation triggers; saturated stretches accumulate in growing
+    chunks.  Both regimes are O(n) vector work overall.
+    """
+    n_items = arrivals.shape[0]
+    out = np.empty(n_items)
+    # Idle items (arrival after the previous end) close in one add:
+    # end_i = a_i + h_i, the exact float the seeded accumulate would
+    # produce from seed a_i.  trig[i] marks where item i+1 lands before
+    # item i's *idle* end — the only places a saturated chain can start
+    # inside an idle run — so a whole run can be committed per step.
+    idle_end = arrivals + holds
+    trig_idx = np.nonzero(arrivals[1:] <= idle_end[:-1])[0]
+    i = 0
+    while i < n_items:
+        if arrivals[i] > cursor:
+            k = int(np.searchsorted(trig_idx, i))
+            j = int(trig_idx[k]) if k < trig_idx.shape[0] else n_items - 1
+            out[i : j + 1] = idle_end[i : j + 1]
+            cursor = float(idle_end[j])
+            i = j + 1
+            continue
+        # Saturated start: seeded sequential accumulate in growing
+        # chunks (chunking a left-fold with a carried float seed is the
+        # same add sequence, so ends stay bit-exact), stopping at the
+        # first arrival that lands after its predecessor's end.
+        seed = cursor
+        pos = i
+        width = 32
+        while True:
+            hi = min(n_items, pos + width)
+            seg = np.add.accumulate(np.concatenate(((seed,), holds[pos:hi])))[1:]
+            prev = np.concatenate(((seed,), seg[:-1]))
+            viol = np.nonzero(arrivals[pos:hi] > prev)[0]
+            if viol.size:
+                j = pos + int(viol[0])
+                out[pos:j] = seg[: j - pos]
+                cursor = float(seg[j - pos - 1]) if j > pos else seed
+                i = j
+                break
+            out[pos:hi] = seg
+            seed = float(seg[-1])
+            if hi == n_items:
+                cursor = seed
+                i = n_items
+                break
+            pos = hi
+            width *= 8
+    return out, cursor
+
+
 class FluentPSSimRunner:
     """Run one FluentPS training job on the simulated cluster."""
 
@@ -257,11 +355,18 @@ class FluentPSSimRunner:
             calendar=config.engine_calendar,
             calendar_threshold=config.engine_calendar_threshold,
             elide=config.engine_elide,
+            collapse=config.round_collapse,
         )
         self.net: Network = config.cluster.make_network(self.engine)
         self.obs = config.obs or current_observability()
-        # Observability implies a full span capture for trace export.
-        self.trace = TraceRecorder(keep_spans=config.keep_spans or self.obs.enabled)
+        # Observability implies a full span capture for trace export,
+        # unless span_capture=False opts out (sanitize-focused runs).
+        keep = (
+            config.span_capture
+            if config.span_capture is not None
+            else (config.keep_spans or self.obs.enabled)
+        )
+        self.trace = TraceRecorder(keep_spans=keep)
         self.spec = config.spec
         slicer = config.slicer or ElasticSlicer()
         self.layout = ShardLayout(self.spec, slicer.slice(self.spec, config.cluster.n_servers))
@@ -546,7 +651,19 @@ class FluentPSSimRunner:
 
     # -- worker side ---------------------------------------------------------------
 
-    def _worker_proc(self, w: int):
+    def _worker_proc(
+        self,
+        w: int,
+        start_iter: int = 0,
+        presampled: Optional[Dict[int, float]] = None,
+    ):
+        """One worker's event-path life.  ``start_iter``/``presampled``
+        re-materialize a worker mid-run after a partial round collapse:
+        the process resumes at iteration ``start_iter`` (spawned with
+        ``start_at=`` its analytic clock) and uses the compute durations
+        the collapse driver already drew from its RNG stream, so the RNG
+        state and every downstream timestamp match the pure event path
+        bit for bit."""
         cfg = self.cfg
         engine = self.engine
         send = self.net.send
@@ -564,8 +681,9 @@ class FluentPSSimRunner:
         params = cfg.task.init_params.copy() if cfg.task is not None else None
         causal = self.causal
         sketch = self._pull_sketches[w] if self._pull_sketches is not None else None
-        for i in range(cfg.max_iter):
-            dur = sample(w, i, base, compute_rng)
+        for i in range(start_iter, cfg.max_iter):
+            pre = None if presampled is None else presampled.get(i)
+            dur = sample(w, i, base, compute_rng) if pre is None else pre
             t0 = engine.now
             yield dur  # zero-allocation spelling of Timeout(dur)
             record_span(name, SpanKind.COMPUTE, t0, engine.now, i)
@@ -646,6 +764,523 @@ class FluentPSSimRunner:
         flush_applies_across(self.servers)
         return self.layout.gather([s.params for s in self.servers])
 
+    # -- closed-form round fast-forward ------------------------------------------------
+
+    def _collapse_eligible(self) -> bool:
+        """True when whole protocol rounds can be committed analytically.
+
+        The closed form models exactly one behavior: timing-only workers
+        that push then pull every shard each iteration over analytic
+        drain lanes, with every shard's sync condition provably quiet
+        (every pull immediate, one frontier advance per round, no DPRs,
+        no PSSP coin flips).  Anything outside that — real gradients,
+        quorums below n, BSP's s=0 soft barrier, DSPS's self-mutating
+        staleness, event-mode drains, DPOR choice/delay hooks, causal
+        tracing, span capture without obs — keeps the per-event path,
+        which stays bit-identical by construction.
+        """
+        cfg = self.cfg
+        if type(self) is not FluentPSSimRunner:
+            # Baseline runners (PS-Lite's scheduler-gated workers,
+            # SpecSync) subclass this runner with their own protocols;
+            # the cohort closed form models only the stock one.
+            return False
+        if not self.engine.collapse_enabled:
+            return False
+        if not self._lane or not self.net.analytic:
+            return False
+        if cfg.task is not None:
+            return False
+        if self.causal is not None or self.engine._choice_hook is not None:
+            return False
+        if self.net.delay_hook is not None:
+            return False
+        if self.trace.keep_spans and not self.obs.enabled:
+            # The vector commit folds spans into totals; a kept span
+            # *list* can only be reproduced by the obs handler replay.
+            return False
+        n = cfg.cluster.n_workers
+        for s in self.servers:
+            pc = s.pull_con
+            # DSPS adapts ``s`` inside ``__call__`` — never provably quiet.
+            if type(pc) is DSPSPull or not isinstance(pc, (SSPPull, PSSPPull)):
+                return False
+            if not pc.s > 0:  # BSP (s=0) blocks pulls until the frontier moves
+                return False
+            if s.push_con.quorum(n) != n:
+                return False
+            if s.callbacks or s.v_train != 0:
+                return False
+            if any(p != -1 for p in s.worker_progress):
+                return False
+        return True
+
+    def _collapse_rounds(self) -> bool:
+        """Advance whole protocol rounds in closed form.
+
+        One vectorized pass per round over the cohort state table
+        (per-worker clocks, NIC lane cursors, busy accumulators, resume
+        ranks) reproduces the exact float recurrences the event path
+        would execute: resume order, worker TX cascades, per-server RX
+        claim/serve cascades, reply TX/RX cascades, and the next round's
+        resume ranks.  A round commits only when the next round is
+        provably isolated (its earliest send lands strictly after this
+        round's last reply), so serve orders and staleness splits cannot
+        shift; the first round that fails the check — a straggler draw
+        overlapping the tail — commits *nothing* and de-vectorizes the
+        cohort back to per-worker event processes at their analytic
+        clocks with their compute durations pre-drawn, keeping RNG
+        streams and all downstream timestamps aligned with the pure
+        event path bit for bit.
+
+        Returns True when every iteration committed analytically (the
+        event heap stays empty and ``engine.now`` is set directly),
+        False after de-vectorizing.
+        """
+        cfg = self.cfg
+        net = self.net
+        eng = self.engine
+        record_span = self.trace.record_span
+        observed = self.obs.enabled
+        n = cfg.cluster.n_workers
+        M = cfg.cluster.n_servers
+        K = 2 * M
+        latency = net.latency_s
+        cost = cfg.server_op_overhead_s
+        hooks = net._delivery_hooks
+        fused = not hooks
+        sample = self.compute_model.sample
+        rngs = self._compute_rngs
+        push_bytes = self._shard_bytes
+        req_bytes = cfg.request_bytes
+        base_l = [
+            cfg.resolved_base_compute(node.flops) for node in cfg.cluster.workers
+        ]
+        names = [f"worker{w}" for w in range(n)]
+
+        # Serialization holds are pure functions of (NIC, size): one
+        # vector per distinct NIC spec covers the whole cohort.
+        sizes = list(push_bytes) + [req_bytes]
+        nic_memo: Dict[Tuple[float, float], np.ndarray] = {}
+        wh = np.empty((n, M + 1))
+        for w, ep in enumerate(self._wkr_eps):
+            nic_key = (ep.nic.bandwidth_Bps, ep.nic.overhead_s)
+            hv = nic_memo.get(nic_key)
+            if hv is None:
+                hv = nic_memo[nic_key] = np.array(
+                    [ep.nic.serialize_time(s) for s in sizes]
+                )
+            wh[w] = hv
+        wtx_holds = np.empty((n, K))
+        wtx_holds[:, :M] = wh[:, :M]
+        wtx_holds[:, M:] = wh[:, M:]  # pull-request hold, broadcast M wide
+        wrx_holds = np.ascontiguousarray(wh[:, :M])  # replies carry shard bytes
+        s_push_hold = [
+            self._srv_eps[m].nic.serialize_time(push_bytes[m]) for m in range(M)
+        ]
+        s_pull_hold = [
+            self._srv_eps[m].nic.serialize_time(req_bytes) for m in range(M)
+        ]
+        s_reply_hold = s_push_hold  # same NIC, same payload size
+
+        # Cohort state table: endpoint cursors and busy accumulators,
+        # loaded once and written back only for committed rounds.
+        wtx_free = np.array([ep.tx_free_at for ep in self._wkr_eps])
+        wrx_free = np.array([ep.rx_free_at for ep in self._wkr_eps])
+        wtx_busy = np.array([ep.tx_busy_s for ep in self._wkr_eps])
+        wrx_busy = np.array([ep.rx_busy_s for ep in self._wkr_eps])
+        stx_free = [ep.tx_free_at for ep in self._srv_eps]
+        srx_free = [ep.rx_free_at for ep in self._srv_eps]
+        stx_busy = [ep.tx_busy_s for ep in self._srv_eps]
+        srx_busy = [ep.rx_busy_s for ep in self._srv_eps]
+        sbusy = list(self._srv_busy)
+        snow = list(self._srv_now)
+        rounds = 0
+        inline_total = 0
+        drained_total = 0
+        # Event census per worker per round: 2 resume events, 2M request
+        # TX completions, M reply TX completions, M reply deliveries —
+        # plus 2M request deliveries when they do not fuse.
+        saved_per_round = n * (2 + (4 if fused else 6) * M)
+        sum_push = sum(push_bytes)
+
+        def _flush() -> None:
+            # Write the committed-round cursor/counter state back to the
+            # live endpoints, network totals, and dispatch counters.
+            # Must run before any de-vectorized worker spawns so their
+            # sends observe the post-collapse cursors.
+            for w, ep in enumerate(self._wkr_eps):
+                ep.tx_free_at = float(wtx_free[w])
+                ep.rx_free_at = float(wrx_free[w])
+                ep.tx_busy_s = float(wtx_busy[w])
+                ep.rx_busy_s = float(wrx_busy[w])
+                ep.bytes_sent += rounds * (sum_push + M * req_bytes)
+                ep.messages_sent += rounds * K
+                ep.bytes_received += rounds * sum_push
+                ep.messages_received += rounds * M
+            for m, ep in enumerate(self._srv_eps):
+                ep.tx_free_at = stx_free[m]
+                ep.rx_free_at = srx_free[m]
+                ep.tx_busy_s = stx_busy[m]
+                ep.rx_busy_s = srx_busy[m]
+                ep.bytes_sent += rounds * n * push_bytes[m]
+                ep.messages_sent += rounds * n
+                ep.bytes_received += rounds * n * (push_bytes[m] + req_bytes)
+                ep.messages_received += rounds * 2 * n
+                self._srv_busy[m] = sbusy[m]
+                self._srv_now[m] = snow[m]
+            nmsg = rounds * 3 * M * n
+            net.total_messages += nmsg
+            net.total_bytes += rounds * n * (2 * sum_push + M * req_bytes)
+            net.fast_path_transfers += nmsg
+            net._next_msg_id += nmsg
+            if fused:
+                net.fused_deliveries += rounds * K * n
+            self.server_msgs_inline += inline_total
+            self.server_msgs_drained += drained_total
+
+        r = 0
+        c = np.zeros(n)
+        rank = np.arange(n)
+        dur_l = [sample(w, 0, base_l[w], rngs[w]) for w in range(n)]
+        arange_n = np.arange(n)
+        cost2n = np.full(2 * n, cost)
+        while True:
+            # -- resume order and the worker TX cascade -------------------
+            e = c + np.asarray(dur_l)
+            order_w = np.lexsort((rank, e))
+            wrank = np.empty(n, dtype=np.int64)
+            wrank[order_w] = arange_n
+            cur = np.maximum(wtx_free, e)
+            T = np.empty((n, K))
+            for k in range(K):
+                cur = cur + wtx_holds[:, k]
+                T[:, k] = cur
+            new_wtx_free = cur
+
+            # -- per-server request claim, RX lane, serve cascade ---------
+            # RX cursors are claimed at TX-completion events, so per-server
+            # claim order is the global TX order (tx_end, send seq)
+            # restricted to that server — in both fused and unfused
+            # regimes (unfused delivery order is (rx_end, tx rank), whose
+            # per-server restriction is the same claim order).
+            pull_serve = np.empty((n, M))
+            pull_rxend = np.empty((n, M))
+            x_early = [0] * M
+            new_srx_free = [0.0] * M
+            new_srx_busy = [0.0] * M
+            new_sbusy = [0.0] * M
+            new_snow = [0.0] * M
+            inline_round = 0
+            srv_claims: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+            for m in range(M):
+                t2 = np.concatenate((T[:, m], T[:, M + m]))
+                k2 = np.concatenate((wrank * K + m, wrank * K + M + m))
+                o = np.lexsort((k2, t2))
+                at = t2[o] + latency
+                is_pull = o >= n
+                h2 = np.where(is_pull, s_pull_hold[m], s_push_hold[m])
+                rx_ends, new_srx_free[m] = _seq_cascade(at, h2, srx_free[m])
+                new_srx_busy[m] = float(
+                    np.add.accumulate(np.concatenate(((srx_busy[m],), h2)))[-1]
+                )
+                busy_ends, new_sbusy[m] = _seq_cascade(rx_ends, cost2n, sbusy[m])
+                busy_prev = np.empty(2 * n)
+                busy_prev[0] = sbusy[m]
+                busy_prev[1:] = busy_ends[:-1]
+                serve = np.maximum(busy_prev, rx_ends)
+                new_snow[m] = float(serve[-1])
+                inline_round += int(np.count_nonzero(rx_ends >= busy_prev))
+                # Pulls served before this shard's last push see the
+                # pre-advance frontier: one missing iteration.
+                last_push = int(np.nonzero(~is_pull)[0][-1])
+                x_early[m] = int(np.count_nonzero(is_pull[:last_push]))
+                pw = o[is_pull] - n
+                pull_serve[pw, m] = serve[is_pull]
+                pull_rxend[pw, m] = rx_ends[is_pull]
+                srv_claims.append((o, rx_ends, serve))
+
+            # -- global reply send seq = global pull handle order ---------
+            keyp = wrank[:, None] * K + (np.arange(M) + M)[None, :]
+            go = np.lexsort((keyp.ravel(), T[:, M:].ravel()))
+            ptx_rank = np.empty(n * M, dtype=np.int64)
+            ptx_rank[go] = np.arange(n * M)
+            if fused:
+                reply_rank = ptx_rank.reshape(n, M)
+            else:
+                go2 = np.lexsort((ptx_rank, pull_rxend.ravel()))
+                rr = np.empty(n * M, dtype=np.int64)
+                rr[go2] = np.arange(n * M)
+                reply_rank = rr.reshape(n, M)
+
+            # -- per-server reply TX cascade (send order = claim order) ---
+            rtx = np.empty((n, M))
+            new_stx_free = [0.0] * M
+            new_stx_busy = [0.0] * M
+            for m in range(M):
+                o, _rx, serve = srv_claims[m]
+                sel = o >= n
+                holds_m = np.full(n, s_reply_hold[m])
+                ends, new_stx_free[m] = _seq_cascade(
+                    serve[sel], holds_m, stx_free[m]
+                )
+                new_stx_busy[m] = float(
+                    np.add.accumulate(
+                        np.concatenate(((stx_busy[m],), holds_m))
+                    )[-1]
+                )
+                rtx[o[sel] - n, m] = ends
+
+            # -- per-worker reply RX claim order and cascade --------------
+            # A worker's RX cursor is claimed at reply TX completions:
+            # order by (reply tx_end, reply send seq), stable two-pass.
+            o1 = np.argsort(reply_rank, axis=1, kind="stable")
+            rtx_s = np.take_along_axis(rtx, o1, axis=1)
+            o2 = np.argsort(rtx_s, axis=1, kind="stable")
+            perm = np.take_along_axis(o1, o2, axis=1)
+            rtx_s = np.take_along_axis(rtx_s, o2, axis=1)
+            rr_s = np.take_along_axis(reply_rank, perm, axis=1)
+            hold_s = np.take_along_axis(wrx_holds, perm, axis=1)
+            rrx = np.empty((n, M))
+            cur = wrx_free
+            new_wrx_busy = wrx_busy
+            for j in range(M):
+                cur = np.maximum(cur, rtx_s[:, j] + latency) + hold_s[:, j]
+                rrx[:, j] = cur
+                new_wrx_busy = new_wrx_busy + hold_s[:, j]
+            f = cur
+            # The sync wait releases inside the last reply's delivery
+            # event; resume seqs are allocated there, so next round's
+            # resume rank is this fire order.
+            fire_order = np.lexsort((rr_s[:, -1], rtx_s[:, -1], f))
+
+            # -- inter-round isolation check ------------------------------
+            last_round = r + 1 >= cfg.max_iter
+            dur_next: List[float] = []
+            if not last_round:
+                dur_next = [
+                    sample(w, r + 1, base_l[w], rngs[w]) for w in range(n)
+                ]
+                if not float(np.min(f + np.asarray(dur_next))) > float(np.max(f)):
+                    # Round r+1's earliest send would overlap round r's
+                    # tail (serve orders and reply times could shift), so
+                    # nothing about round r is committed: the cohort
+                    # de-vectorizes here, durations pre-drawn so the RNG
+                    # streams stay aligned with the pure event path.
+                    _flush()
+                    for pos in np.argsort(rank, kind="stable"):
+                        w = int(pos)
+                        eng.spawn(
+                            self._worker_proc(
+                                w, r, {r: dur_l[w], r + 1: dur_next[w]}
+                            ),
+                            name=names[w],
+                            elidable=True,
+                            start_at=float(c[w]),
+                        )
+                    return False
+
+            # -- commit round r -------------------------------------------
+            if observed:
+                self._observed_round_commit(
+                    r, c, e, f, order_w, fire_order, T, wrank, pull_rxend,
+                    srv_claims, rtx_s, rr_s, rrx, perm, pull_serve, names,
+                )
+            else:
+                for m in range(M):
+                    self.servers[m].handle_quiet_round(r, x_early[m])
+                if hooks:
+                    self._emit_collapsed_hooks(
+                        r, e, T, wrank, pull_rxend, srv_claims, rtx_s, rr_s,
+                        rrx, perm, pull_serve,
+                    )
+                for idx in order_w:
+                    w = int(idx)
+                    record_span(
+                        names[w], SpanKind.COMPUTE, float(c[w]), float(e[w]), r
+                    )
+                for idx in fire_order:
+                    w = int(idx)
+                    record_span(
+                        names[w], SpanKind.PULL, float(e[w]), float(f[w]), r
+                    )
+            wtx_free = new_wtx_free
+            wrx_free = f
+            wrx_busy = new_wrx_busy
+            for k in range(K):
+                wtx_busy = wtx_busy + wtx_holds[:, k]
+            srx_free = new_srx_free
+            srx_busy = new_srx_busy
+            stx_free = new_stx_free
+            stx_busy = new_stx_busy
+            sbusy = new_sbusy
+            snow = new_snow
+            inline_total += inline_round
+            drained_total += 2 * n * M - inline_round
+            # The initial spawn-step wave is only truly saved when the
+            # whole run collapses — a de-vectorization re-spawns one step
+            # event per worker, cancelling the round-0 saving.
+            eng.credit_collapsed_round(saved_per_round + (n if last_round else 0))
+            rounds += 1
+            if last_round:
+                _flush()
+                eng.now = float(np.max(f))
+                self._finish_times = [float(x) for x in f]
+                return True
+            r += 1
+            c = f
+            rank = np.empty(n, dtype=np.int64)
+            rank[fire_order] = arange_n
+            dur_l = dur_next
+
+    def _observed_round_commit(
+        self, r, c, e, f, order_w, fire_order, T, wrank, pull_rxend,
+        srv_claims, rtx_s, rr_s, rrx, perm, pull_serve, names,
+    ) -> None:
+        """Replay one certified-quiet round through the real protocol
+        handlers so the S001–S016 instant stream is byte-identical to the
+        event path: COMPUTE spans in resume order, pushes/pulls via
+        ``handle_push``/``handle_pull`` in global handle order (TX order
+        when request deliveries fuse, delivery order otherwise) with the
+        per-shard virtual clock set to each request's serve time, then
+        delivery-hook synthesis, then PULL spans and latency-sketch
+        observations in fire order.  Only the global span-*list* order
+        differs from the event path (per-actor subsequences are
+        identical); every protocol instant carries the same name, time,
+        actor, and args in the same order."""
+        cfg = self.cfg
+        n = cfg.cluster.n_workers
+        M = cfg.cluster.n_servers
+        K = 2 * M
+        cost = cfg.server_op_overhead_s
+        record_span = self.trace.record_span
+        servers = self.servers
+        srv_names = self._srv_names
+        hooks = self.net._delivery_hooks
+        for idx in order_w:
+            w = int(idx)
+            record_span(names[w], SpanKind.COMPUTE, float(c[w]), float(e[w]), r)
+        serve_flat = np.empty(n * K)
+        for m in range(M):
+            o, _rx, serve = srv_claims[m]
+            sel = o >= n
+            wkr = np.where(sel, o - n, o)
+            col = np.where(sel, M + m, m)
+            serve_flat[wkr * K + col] = serve
+        keyflat = (wrank[:, None] * K + np.arange(K)[None, :]).ravel()
+        if not hooks:
+            gro = np.lexsort((keyflat, T.ravel()))
+        else:
+            txrank = np.empty(n * K, dtype=np.int64)
+            txrank[np.lexsort((keyflat, T.ravel()))] = np.arange(n * K)
+            rx_flat = np.empty(n * K)
+            for m in range(M):
+                o, rx_ends, _serve = srv_claims[m]
+                sel = o >= n
+                wkr = np.where(sel, o - n, o)
+                col = np.where(sel, M + m, m)
+                rx_flat[wkr * K + col] = rx_ends
+            gro = np.lexsort((txrank, rx_flat))
+        for idx in gro:
+            i = int(idx)
+            w, k = divmod(i, K)
+            pull = k >= M
+            m = k - M if pull else k
+            st = float(serve_flat[i])
+            self._srv_now[m] = st
+            server = servers[m]
+            dprs0 = server.metrics.dprs
+            if pull:
+                server.handle_pull(w, r, respond=_discard_reply)
+            else:
+                server.handle_push(w, r, grad=None)
+            if server.metrics.dprs != dprs0:
+                raise SimulationError(
+                    f"collapsed round {r}: shard {m} buffered a DPR in a "
+                    "round certified quiet"
+                )
+            end = st + cost
+            self._srv_busy[m] = end
+            if cost > 0:
+                record_span(srv_names[m], SpanKind.SERVER_APPLY, st, end)
+        if hooks:
+            self._emit_collapsed_hooks(
+                r, e, T, wrank, pull_rxend, srv_claims, rtx_s, rr_s, rrx,
+                perm, pull_serve,
+            )
+        sketches = self._pull_sketches
+        for idx in fire_order:
+            w = int(idx)
+            record_span(names[w], SpanKind.PULL, float(e[w]), float(f[w]), r)
+            if sketches is not None:
+                sketches[w].observe(float(f[w]) - float(e[w]))
+
+    def _emit_collapsed_hooks(
+        self, r, e, T, wrank, pull_rxend, srv_claims, rtx_s, rr_s, rrx,
+        perm, pull_serve,
+    ) -> None:
+        """Feed delivery hooks one collapsed round's wire traffic.
+
+        Hooks observe one synthesized :class:`Message` per transfer with
+        the exact (src, dst, size, tag, send_time, deliver_time) the
+        event path produces.  Requests are emitted in delivery order,
+        then replies in delivery order; cross-class interleaving, msg/
+        cause ids (-1 here), and reply payloads (None here) are not
+        reproduced — trace comparisons sort on the stable wire fields
+        (see tests/test_round_collapse.py)."""
+        cfg = self.cfg
+        n = cfg.cluster.n_workers
+        M = cfg.cluster.n_servers
+        K = 2 * M
+        hooks = self.net._delivery_hooks
+        push_bytes = self._shard_bytes
+        req_bytes = cfg.request_bytes
+        wkr_ids = self._wkr_node_ids
+        srv_ids = self._srv_node_ids
+        keyflat = (wrank[:, None] * K + np.arange(K)[None, :]).ravel()
+        txrank = np.empty(n * K, dtype=np.int64)
+        txrank[np.lexsort((keyflat, T.ravel()))] = np.arange(n * K)
+        rx_flat = np.empty(n * K)
+        for m in range(M):
+            o, rx_ends, _serve = srv_claims[m]
+            sel = o >= n
+            wkr = np.where(sel, o - n, o)
+            col = np.where(sel, M + m, m)
+            rx_flat[wkr * K + col] = rx_ends
+        for idx in np.lexsort((txrank, rx_flat)):
+            i = int(idx)
+            w, k = divmod(i, K)
+            pull = k >= M
+            m = k - M if pull else k
+            msg = Message(
+                src=wkr_ids[w],
+                dst=srv_ids[m],
+                size_bytes=req_bytes if pull else push_bytes[m],
+                tag="pull" if pull else "push",
+                payload=_PullMsg(w, r) if pull else _PushMsg(w, r, None),
+                send_time=float(e[w]),
+                deliver_time=float(rx_flat[i]),
+            )
+            for hook in hooks:
+                hook(msg)
+        ps_sorted = np.take_along_axis(pull_serve, perm, axis=1).ravel()
+        perm_flat = perm.ravel()
+        rrx_flat = rrx.ravel()
+        for idx in np.lexsort((rr_s.ravel(), rtx_s.ravel(), rrx_flat)):
+            i = int(idx)
+            w = i // M
+            m = int(perm_flat[i])
+            msg = Message(
+                src=srv_ids[m],
+                dst=wkr_ids[w],
+                size_bytes=push_bytes[m],
+                tag="reply",
+                send_time=float(ps_sorted[i]),
+                deliver_time=float(rrx_flat[i]),
+            )
+            for hook in hooks:
+                hook(msg)
+
     # -- run ---------------------------------------------------------------------------
 
     def run(self) -> SimRunResult:
@@ -662,12 +1297,20 @@ class FluentPSSimRunner:
                 # ``msg.deliver_time``, so signal-free request deliveries
                 # can fold into their TX-completion events.
                 self.net.fuse_delivery = True
-        # Worker compute phases are the homogeneous event population at
+        # Closed-form round fast-forward: when every shard is provably
+        # quiet for whole rounds, the collapse driver commits them
+        # analytically and only spawns worker processes if (and from the
+        # round where) it de-vectorizes.  Otherwise the classic path:
+        # worker compute phases are the homogeneous event population at
         # scale; marking them elidable lets the engine batch-serve
         # protocol-quiet same-instant runs (BSP barrier releases, the t=0
         # start wave) without changing served order.
-        for w in range(self.cfg.cluster.n_workers):
-            self.engine.spawn(self._worker_proc(w), name=f"worker{w}", elidable=True)
+        collapsed_all = False
+        if self._collapse_eligible():
+            collapsed_all = self._collapse_rounds()
+        else:
+            for w in range(self.cfg.cluster.n_workers):
+                self.engine.spawn(self._worker_proc(w), name=f"worker{w}", elidable=True)
         snapshotter = None
         if self.obs.enabled:
             snapshotter = ServerSnapshotter(
@@ -678,12 +1321,16 @@ class FluentPSSimRunner:
                 engine=self.engine,
                 dispatch=self,
             )
-            interval = self.cfg.snapshot_interval_s
-            if interval is None:
-                interval = (
-                    self.cfg.resolved_base_compute(self.cfg.cluster.workers[0].flops) / 2.0
-                )
-            snapshotter.install(self.engine, interval)
+            if not collapsed_all:
+                # A fully collapsed run has no events to scrape between;
+                # the finalize() below still records the end-state sample
+                # (engine counters included).
+                interval = self.cfg.snapshot_interval_s
+                if interval is None:
+                    interval = (
+                        self.cfg.resolved_base_compute(self.cfg.cluster.workers[0].flops) / 2.0
+                    )
+                snapshotter.install(self.engine, interval)
         self.engine.run()
         if snapshotter is not None:
             # Final snapshot so the last partial period is never dropped

@@ -43,6 +43,7 @@ EXPECTED_BENCHMARKS = {
     "macro_fig7_wall_s",
     "macro_10k_wall_s",
     "macro_100k_wall_s",
+    "macro_100k_sanitized_wall_s",
     "sweep_wall_s",
 }
 

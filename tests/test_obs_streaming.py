@@ -1,0 +1,129 @@
+"""Tests for the disk-spilling instant log and streamed sanitization.
+
+At 100k workers a sanitized run emits millions of protocol instants; the
+``InstantLog`` keeps at most ``spill_cap`` of them in memory and spills
+the rest to a JSONL temp file, and the sanitizer replays the spilled
+prefix from disk in chunks.  These tests pin the invariant that spilling
+is invisible: same events, same order, same sanitizer verdict.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import iter_events_from_instants, sanitize_observability
+from repro.core.models import ssp
+from repro.ml.models_zoo import alexnet_cifar_workload
+from repro.obs import MetricsRegistry, Observability
+from repro.obs.export import DEFAULT_INSTANT_SPILL_CAP, InstantLog
+from repro.sim.cluster import cpu_cluster
+from repro.sim.runner import FluentPSSimRunner, SimConfig
+from repro.sim.stragglers import DeterministicCompute
+
+
+def _fill(log, n):
+    for i in range(n):
+        log.record(f"ev{i % 7}", float(i), f"actor-{i % 3}", idx=i, half=i / 2)
+    return log
+
+
+def _as_list(log):
+    return [(e.name, e.t, e.actor, e.args) for e in log]
+
+
+class TestInstantLogSpill:
+    def test_spilled_equals_in_memory(self):
+        spilled = _fill(InstantLog(spill_cap=16), 500)
+        resident = _fill(InstantLog(spill_cap=10_000), 500)
+        assert spilled.spilled_events == 500 - (500 % 16 or 16) or spilled.spilled_events > 0
+        assert resident.spilled_events == 0
+        assert len(spilled) == len(resident) == 500
+        assert _as_list(spilled) == _as_list(resident)
+
+    def test_by_name_filters_across_spill_boundary(self):
+        log = _fill(InstantLog(spill_cap=8), 100)
+        want = [e for e in _as_list(log) if e[0] == "ev3"]
+        got = [(e.name, e.t, e.actor, e.args) for e in log.by_name("ev3")]
+        assert got == want
+        assert len(want) > 0
+
+    def test_nested_iteration_is_reentrant(self):
+        log = _fill(InstantLog(spill_cap=8), 60)
+        pairs = [(a.args["idx"], b.args["idx"]) for a in log for b in log]
+        assert len(pairs) == 60 * 60
+
+    def test_record_after_iterate(self):
+        log = _fill(InstantLog(spill_cap=8), 20)
+        first = _as_list(log)
+        log.record("late", 99.0, "actor-x")
+        again = _as_list(log)
+        assert again[:-1] == first
+        assert again[-1] == ("late", 99.0, "actor-x", {})
+        assert len(log) == 21
+
+    def test_args_roundtrip_through_json(self):
+        log = InstantLog(spill_cap=1)
+        log.record("a", 1.0, "w", nested={"k": [1, 2.5, "s", None]}, inf=float("inf"))
+        log.record("b", 2.0, "w")  # push "a" over the spill boundary
+        events = _as_list(log)
+        assert events[0] == ("a", 1.0, "w", {"nested": {"k": [1, 2.5, "s", None]}, "inf": float("inf")})
+
+    def test_env_var_sets_default_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INSTANT_SPILL_CAP", "3")
+        log = _fill(InstantLog(), 10)
+        assert log.spilled_events > 0
+        assert _as_list(log) == _as_list(_fill(InstantLog(spill_cap=100), 10))
+        monkeypatch.delenv("REPRO_INSTANT_SPILL_CAP")
+        assert InstantLog().spill_cap == DEFAULT_INSTANT_SPILL_CAP
+
+    def test_iter_events_streams_lazily(self):
+        log = InstantLog(spill_cap=8)
+        for i in range(40):
+            log.record("push", float(i), f"w{i % 3}", shard=0, worker=i % 3)
+        it = iter_events_from_instants(log)
+        first = next(it)
+        assert first.index == 0 and first.name == "push"
+        rest = list(it)
+        assert len(rest) == 39
+        assert [e.index for e in rest] == list(range(1, 40))
+
+
+def _sim_instant_stream(obs):
+    return json.dumps(
+        [
+            [i.name, i.t, i.actor, {k: v for k, v in sorted(i.args.items()) if k != "uid"}]
+            for i in obs.last_run.instants
+        ]
+    )
+
+
+class TestSanitizeSpilledRun:
+    @pytest.mark.no_sanitize
+    def test_sanitizer_replays_from_disk(self, monkeypatch):
+        def run(cap):
+            if cap is not None:
+                monkeypatch.setenv("REPRO_INSTANT_SPILL_CAP", str(cap))
+            else:
+                monkeypatch.delenv("REPRO_INSTANT_SPILL_CAP", raising=False)
+            obs = Observability(MetricsRegistry("spill-test"), causal=False)
+            cfg = SimConfig(
+                cluster=cpu_cluster(12, n_servers=3),
+                max_iter=4,
+                sync=ssp(3),
+                workload=alexnet_cifar_workload(),
+                compute_model=DeterministicCompute(),
+                seed=11,
+                obs=obs,
+            )
+            FluentPSSimRunner(cfg).run()
+            report = sanitize_observability(obs)
+            return obs, report
+
+        obs_spill, rep_spill = run(50)
+        obs_mem, rep_mem = run(None)
+        assert obs_spill.last_run.instants.spilled_events > 0
+        assert obs_mem.last_run.instants.spilled_events == 0
+        assert rep_spill.ok, rep_spill.violations
+        assert rep_mem.ok
+        assert rep_spill.n_events == rep_mem.n_events > 0
+        assert _sim_instant_stream(obs_spill) == _sim_instant_stream(obs_mem)

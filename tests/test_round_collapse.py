@@ -1,0 +1,288 @@
+"""Differential tests for the closed-form round fast-forward.
+
+The round collapse (docs/PERFORMANCE.md, "Closed-form round fast-forward
+and the cohort state table") must be *bit-identical* to the event path
+it replaces: same delivery traces, same protocol instant streams, same
+metrics, same finish times — in every engine regime (calendar vs heap,
+elision on vs off) and in both vector mode (no observability) and
+handler mode (observability without a causal trace).  Every test here
+runs the same configuration twice — fast path vs ``round_collapse=False``
+oracle — and compares exhaustively.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import bsp, pssp, ssp
+from repro.ml.models_zoo import alexnet_cifar_workload
+from repro.obs import NULL_OBS, MetricsRegistry, Observability
+from repro.sim.cluster import cpu_cluster, gpu_cluster_p2
+from repro.sim.runner import FluentPSSimRunner, SimConfig, _seq_cascade
+from repro.sim.stragglers import ComputeModel, DeterministicCompute, cpu_cluster_compute
+
+
+class _InjectedStraggler(ComputeModel):
+    """Deterministic compute with one straggler draw at (worker, iter)."""
+
+    def __init__(self, worker: int, iteration: int, slow_factor: float = 6.0):
+        self.worker = worker
+        self.iteration = iteration
+        self.slow_factor = slow_factor
+
+    def sample(self, worker, iteration, base_time, rng):
+        t = base_time
+        if worker == self.worker and iteration == self.iteration:
+            t *= self.slow_factor
+        return t
+
+    def mean_factor(self) -> float:
+        return 1.0
+
+
+def _wire_trace_key(msg):
+    # Stable wire fields only: collapsed-round hook messages carry
+    # synthesized ids (msg_id/cause_id = -1), so identity must rest on
+    # src/dst/tag/size and the two analytic times.
+    return (msg.src, msg.dst, msg.tag, msg.size_bytes, msg.send_time, msg.deliver_time)
+
+
+def _run(cfg_kwargs, collapse, obs=None, hooks=True):
+    cfg = SimConfig(
+        **cfg_kwargs,
+        round_collapse=collapse,
+        obs=obs if obs is not None else NULL_OBS,
+    )
+    runner = FluentPSSimRunner(cfg)
+    rec = []
+    if hooks:
+        runner.net.on_delivery(lambda m: rec.append(_wire_trace_key(m)))
+    result = runner.run()
+    return runner, result, sorted(rec)
+
+
+def _fingerprint(runner, result, rec):
+    """Everything the oracle comparison cares about, as one JSON string."""
+    return json.dumps(
+        {
+            "trace": rec,
+            "duration": result.duration,
+            "finish": runner._finish_times,
+            "metrics": [
+                {
+                    **s.metrics.summary(),
+                    "staleness": sorted(s.metrics.staleness_hist.items()),
+                }
+                for s in runner.servers
+            ],
+            "net": [runner.net.total_messages, runner.net.total_bytes],
+            "dispatch": [runner.server_msgs_inline, runner.server_msgs_drained],
+            "spans": sorted(
+                (a, k.value, v) for (a, k), v in runner.trace._totals.items()
+            ),
+        },
+        sort_keys=True,
+    )
+
+
+def _assert_differential(cfg_kwargs, obs_factory=None, hooks=True):
+    """Fast path vs oracle: bit-identical results, exact event census."""
+    obs_a = obs_factory() if obs_factory else None
+    obs_b = obs_factory() if obs_factory else None
+    ra, resa, ta = _run(cfg_kwargs, None, obs=obs_a, hooks=hooks)
+    rb, resb, tb = _run(cfg_kwargs, False, obs=obs_b, hooks=hooks)
+    assert rb.engine.rounds_collapsed == 0
+    assert _fingerprint(ra, resa, ta) == _fingerprint(rb, resb, tb)
+    # The saved-event census is exact: fast-path events + credited
+    # savings reproduce the oracle's event count to the event.
+    assert (
+        rb.engine.events_processed - ra.engine.events_processed
+        == ra.engine.round_events_saved
+    )
+    if obs_a is not None:
+        assert _instant_stream(obs_a) == _instant_stream(obs_b)
+    return ra, rb
+
+
+def _instant_stream(obs):
+    # uid is a process-global server incarnation counter — it differs
+    # between any two runner constructions in one process by design, so
+    # it is the one argument stripped before comparing streams.
+    return json.dumps(
+        [
+            [i.name, i.t, i.actor, {k: v for k, v in sorted(i.args.items()) if k != "uid"}]
+            for i in obs.last_run.instants
+        ]
+    )
+
+
+def _cell(preset, sync_name, compute_name, calendar, elide, n=12, m=3, iters=4, seed=7):
+    cluster = cpu_cluster(n, n_servers=m) if preset == "cpu" else gpu_cluster_p2(n, m)
+    sync = {"ssp3": ssp(3), "pssp": pssp(2, 0.5), "bsp": bsp()}[sync_name]
+    compute = {
+        "det": DeterministicCompute(),
+        "lognorm": cpu_cluster_compute(n),
+    }[compute_name]
+    return dict(
+        cluster=cluster,
+        max_iter=iters,
+        sync=sync,
+        workload=alexnet_cifar_workload(),
+        compute_model=compute,
+        seed=seed,
+        engine_calendar=calendar,
+        engine_elide=elide,
+    )
+
+
+class TestVectorModeDifferential:
+    """No observability: the collapse commits cohort analytics directly."""
+
+    @given(
+        preset=st.sampled_from(["cpu", "gpu_p2"]),
+        sync_name=st.sampled_from(["ssp3", "pssp"]),
+        compute_name=st.sampled_from(["det", "lognorm"]),
+        calendar=st.booleans(),
+        elide=st.booleans(),
+        hooks=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=16, deadline=None)
+    def test_bit_identical_vs_oracle(
+        self, preset, sync_name, compute_name, calendar, elide, hooks, seed
+    ):
+        kwargs = _cell(preset, sync_name, compute_name, calendar, elide, seed=seed)
+        _assert_differential(kwargs, hooks=hooks)
+
+    def test_collapse_engages_on_homogeneous_cohort(self):
+        kwargs = _cell("cpu", "ssp3", "lognorm", None, None, n=20, m=4, iters=6)
+        ra, _rb = _assert_differential(kwargs)
+        assert ra.engine.rounds_collapsed > 0
+        assert ra.engine.round_events_saved > 0
+
+    def test_full_collapse_leaves_no_events(self):
+        kwargs = _cell("cpu", "ssp3", "det", None, None, iters=3)
+        kwargs["base_compute_time"] = 5.0  # comm spread << compute: isolated
+        ra, rb = _assert_differential(kwargs)
+        assert ra.engine.rounds_collapsed == 3
+        assert ra.engine.events_processed == 0
+        assert rb.engine.events_processed == ra.engine.round_events_saved
+
+
+class TestDevectorization:
+    def test_single_midrun_straggler_exits_without_drift(self):
+        """One straggler draw mid-run de-vectorizes back to the event
+        path: earlier rounds stay collapsed, the straggler's round and
+        everything after run event-by-event, and nothing drifts."""
+        kwargs = _cell("cpu", "ssp3", "det", None, None, n=10, m=3, iters=6)
+        kwargs["base_compute_time"] = 5.0
+        kwargs["compute_model"] = _InjectedStraggler(worker=3, iteration=2)
+        ra, _rb = _assert_differential(kwargs)
+        assert 0 < ra.engine.rounds_collapsed < 6
+        assert ra.engine.events_processed > 0  # the de-vectorized tail
+
+    def test_straggler_in_round_zero_collapses_nothing(self):
+        kwargs = _cell("cpu", "ssp3", "det", None, None, n=10, m=3, iters=3)
+        kwargs["base_compute_time"] = 5.0
+        kwargs["compute_model"] = _InjectedStraggler(worker=0, iteration=0)
+        ra, _rb = _assert_differential(kwargs)
+        assert ra.engine.rounds_collapsed == 0
+
+
+class TestHandlerModeDifferential:
+    """Observability without a causal trace: the collapse replays real
+    server handlers in the analytic handle order, so protocol instants
+    (S001-S016 replay), spans, and metrics all still come from the
+    servers themselves."""
+
+    @pytest.mark.parametrize("sync_name", ["ssp3", "pssp"])
+    @pytest.mark.parametrize("calendar", [None, False])
+    def test_instant_streams_identical(self, sync_name, calendar):
+        kwargs = _cell("cpu", sync_name, "lognorm", calendar, None, n=14, m=3, iters=5)
+        obs_factory = lambda: Observability(  # noqa: E731
+            MetricsRegistry("collapse-test"), causal=False
+        )
+        ra, _rb = _assert_differential(kwargs, obs_factory=obs_factory)
+        assert ra.engine.rounds_collapsed > 0
+
+    def test_spans_identical(self):
+        kwargs = _cell("cpu", "ssp3", "lognorm", None, None, n=14, m=3, iters=5)
+        runs = []
+        for collapse in (None, False):
+            obs = Observability(MetricsRegistry("span-test"), causal=False)
+            runner, _res, _t = _run(kwargs, collapse, obs=obs, hooks=False)
+            runs.append(
+                sorted(
+                    (s.actor, s.kind.value, s.t0, s.t1, s.iteration)
+                    for s in runner.trace.spans
+                )
+            )
+        assert runs[0] == runs[1]
+
+
+class TestEligibilityGates:
+    def test_causal_observability_gates_collapse_off(self):
+        # The ambient pytest fixture installs an Observability whose
+        # captures carry a causal trace; collapse must stand down (the
+        # vectorized commit cannot reproduce per-message causal spans).
+        cfg = SimConfig(**_cell("cpu", "ssp3", "det", None, None))
+        runner = FluentPSSimRunner(cfg)
+        runner.run()
+        assert runner.causal is not None
+        assert runner.engine.rounds_collapsed == 0
+
+    def test_bsp_is_ineligible(self):
+        kwargs = _cell("cpu", "bsp", "det", None, None)
+        kwargs["base_compute_time"] = 5.0
+        ra, _rb = _assert_differential(kwargs)
+        assert ra.engine.rounds_collapsed == 0
+
+    def test_subclassed_runners_are_ineligible(self):
+        # PS-Lite overrides the worker protocol (scheduler-gated grants)
+        # but inherits run(); the cohort closed form models only the
+        # stock protocol, so subclasses must keep the event path.
+        from repro.baselines.pslite import PSLiteSimRunner
+
+        kwargs = _cell("cpu", "ssp3", "det", None, None)
+        kwargs["base_compute_time"] = 5.0
+        cfg = SimConfig(**kwargs, obs=NULL_OBS)
+        runner = PSLiteSimRunner(cfg)
+        runner.run()
+        assert runner.engine.rounds_collapsed == 0
+
+    def test_oracle_flag_disables_engine_credit(self):
+        kwargs = _cell("cpu", "ssp3", "det", None, None, iters=2)
+        kwargs["base_compute_time"] = 5.0
+        runner, _res, _t = _run(kwargs, False)
+        assert not runner.engine.collapse_enabled or runner.engine.rounds_collapsed == 0
+        assert runner.engine.rounds_collapsed == 0
+        assert runner.engine.round_events_saved == 0
+
+
+class TestSeqCascade:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=300,
+        ),
+        cursor=st.floats(min_value=0.0, max_value=50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_exact_vs_scalar_recurrence(self, data, cursor):
+        arrivals = np.sort(np.array([a for a, _h in data]))
+        holds = np.array([h for _a, h in data])
+        ends, final = _seq_cascade(arrivals, holds, cursor)
+        c = cursor
+        for i in range(len(data)):
+            if arrivals[i] > c:
+                c = arrivals[i]
+            c = c + holds[i]
+            assert ends[i] == c  # bit-identical, not approx
+        assert final == c
